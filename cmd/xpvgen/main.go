@@ -1,0 +1,66 @@
+// Command xpvgen generates the experiment inputs: XMark-like documents
+// and YFilter-style query/view workloads.
+//
+// Usage:
+//
+//	xpvgen -doc -scale 0.5 -seed 1 > site.xml
+//	xpvgen -queries 1000 -maxdepth 4 -wild 0.2 -desc 0.2 -pred 1 -nested 1
+//	xpvgen -queries 100 -positive -scale 0.1   # only queries with answers
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"xpathviews/internal/workload"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xmltree"
+)
+
+func main() {
+	doc := flag.Bool("doc", false, "emit an XMark-like XML document to stdout")
+	queries := flag.Int("queries", 0, "emit N generated XPath queries, one per line")
+	positive := flag.Bool("positive", false, "with -queries: keep only queries with non-empty results on a generated document")
+	scale := flag.Float64("scale", 0.5, "document scale factor (1.0 ≈ 70k nodes)")
+	seed := flag.Int64("seed", 2008, "generator seed")
+	maxdepth := flag.Int("maxdepth", 4, "max_depth")
+	wild := flag.Float64("wild", 0.2, "prob_wild")
+	desc := flag.Float64("desc", 0.2, "prob_edge (descendant-axis probability)")
+	pred := flag.Int("pred", 1, "num_pred (attribute predicates)")
+	nested := flag.Int("nested", 1, "num_nestedpath (branch predicates)")
+	flag.Parse()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	switch {
+	case *doc:
+		tree := xmark.Generate(xmark.Config{Scale: *scale, Seed: *seed})
+		fmt.Fprintln(os.Stderr, "nodes:", tree.Size())
+		if err := xmltree.WriteXML(out, tree.Root()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	case *queries > 0:
+		gen := workload.New(*seed, xmark.Schema(), xmark.Attributes(), workload.Params{
+			MaxDepth: *maxdepth, ProbWild: *wild, ProbDesc: *desc,
+			NumPred: *pred, NumNestedPath: *nested,
+		})
+		if *positive {
+			tree := xmark.Generate(xmark.Config{Scale: *scale, Seed: *seed})
+			for _, q := range gen.Positive(tree, *queries, *queries*60) {
+				fmt.Fprintln(out, q)
+			}
+		} else {
+			for i := 0; i < *queries; i++ {
+				fmt.Fprintln(out, gen.Query())
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,100 @@
+// Command xpvquery evaluates one XPath query against an XML document,
+// directly or through materialized views.
+//
+// Usage:
+//
+//	xpvquery -doc site.xml '//person[address]/name'
+//	xpvquery -doc site.xml -view '//person/address/city' -view '//person[address]/name' \
+//	         -strategy HV '//person[address/city]/name'
+//
+// Output: one line per answer with its extended Dewey code and the
+// serialized answer subtree (truncated).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xpathviews"
+)
+
+type viewList []string
+
+func (v *viewList) String() string     { return strings.Join(*v, "; ") }
+func (v *viewList) Set(s string) error { *v = append(*v, s); return nil }
+
+func main() {
+	docPath := flag.String("doc", "", "XML document to query (required)")
+	strategy := flag.String("strategy", "BF", "BN | BF | MN | MV | HV")
+	limit := flag.Int("limit", xpathviews.DefaultFragmentLimit, "per-view fragment byte cap (0 = unlimited)")
+	maxShow := flag.Int("n", 20, "maximum answers to print (0 = all)")
+	var viewSrcs viewList
+	flag.Var(&viewSrcs, "view", "materialize this view (repeatable)")
+	flag.Parse()
+
+	if *docPath == "" || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := xpathviews.OpenXML(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	for _, v := range viewSrcs {
+		if _, err := sys.AddView(v, *limit); err != nil {
+			fatal(fmt.Errorf("view %s: %w", v, err))
+		}
+	}
+
+	var strat xpathviews.Strategy
+	switch strings.ToUpper(*strategy) {
+	case "BN":
+		strat = xpathviews.BN
+	case "BF":
+		strat = xpathviews.BF
+	case "MN":
+		strat = xpathviews.MN
+	case "MV":
+		strat = xpathviews.MV
+	case "HV":
+		strat = xpathviews.HV
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	res, err := sys.Answer(flag.Arg(0), strat)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d answer(s) via %v", len(res.Answers), res.Strategy)
+	if len(res.ViewsUsed) > 0 {
+		fmt.Printf(" using views %v (candidates after filter: %d)", res.ViewsUsed, res.CandidatesAfterFilter)
+	}
+	fmt.Println()
+	for i, a := range res.Answers {
+		if *maxShow > 0 && i >= *maxShow {
+			fmt.Printf("... and %d more\n", len(res.Answers)-i)
+			break
+		}
+		xml, err := xpathviews.MarshalAnswer(a)
+		if err != nil {
+			xml = "<?>"
+		}
+		if len(xml) > 120 {
+			xml = xml[:117] + "..."
+		}
+		fmt.Printf("%-16s %s\n", a.Code, xml)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpvquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module xpathviews
+
+go 1.22

@@ -1,0 +1,132 @@
+// Package cache implements a semantic view cache on top of the
+// xpathviews system: answered queries are admitted as materialized views
+// so later queries can be answered from them, and a byte budget is
+// enforced by evicting the least-recently-used views. This is the
+// scenario of Mandhani & Suciu (the paper's [19]) that motivates §VI's
+// 128 KB per-view fragment cap, generalized to multiple-view answering:
+// a query may hit by joining several cached views, not just by matching
+// one.
+package cache
+
+import (
+	"errors"
+
+	"xpathviews"
+)
+
+// Config tunes the cache.
+type Config struct {
+	// BudgetBytes bounds the total materialized fragment bytes kept.
+	BudgetBytes int
+	// PerViewLimit caps each admitted view (the paper's 128 KB);
+	// candidates over the cap are simply not admitted.
+	PerViewLimit int
+}
+
+// DefaultConfig keeps 4 MB of fragments with the paper's per-view cap.
+func DefaultConfig() Config {
+	return Config{BudgetBytes: 4 << 20, PerViewLimit: xpathviews.DefaultFragmentLimit}
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits      int
+	Misses    int
+	Admitted  int
+	Rejected  int // over the per-view cap or empty results
+	Evictions int
+	Bytes     int
+}
+
+// Cache wraps a System with admit-on-miss view caching.
+type Cache struct {
+	sys *xpathviews.System
+	cfg Config
+
+	// lru holds live view IDs ordered by recency (front = oldest).
+	lru   []int
+	bytes map[int]int
+	tick  int
+	stats Stats
+}
+
+// New wraps an existing system. Views already materialized on sys are
+// outside the cache's budget accounting and are never evicted.
+func New(sys *xpathviews.System, cfg Config) *Cache {
+	return &Cache{sys: sys, cfg: cfg, bytes: make(map[int]int)}
+}
+
+// System exposes the wrapped system.
+func (c *Cache) System() *xpathviews.System { return c.sys }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Answer answers the query from cached views when possible (HV
+// strategy); on a miss it evaluates directly (BF), admits the query as a
+// new view, and evicts LRU views until the budget holds again.
+func (c *Cache) Answer(src string) (*xpathviews.Result, bool, error) {
+	res, err := c.sys.Answer(src, xpathviews.HV)
+	if err == nil {
+		c.stats.Hits++
+		c.touch(res.ViewsUsed)
+		return res, true, nil
+	}
+	if !errors.Is(err, xpathviews.ErrNotAnswerable) {
+		return nil, false, err
+	}
+	c.stats.Misses++
+	res, err = c.sys.Answer(src, xpathviews.BF)
+	if err != nil {
+		return nil, false, err
+	}
+	c.admit(src, len(res.Answers))
+	return res, false, nil
+}
+
+func (c *Cache) admit(src string, answers int) {
+	if answers == 0 {
+		c.stats.Rejected++ // negative results are not worth caching here
+		return
+	}
+	id, err := c.sys.AddView(src, c.cfg.PerViewLimit)
+	if err != nil {
+		c.stats.Rejected++
+		return
+	}
+	v := c.sys.Registry().Get(id)
+	c.stats.Admitted++
+	c.bytes[id] = v.TotalBytes
+	c.stats.Bytes += v.TotalBytes
+	c.lru = append(c.lru, id)
+	for c.stats.Bytes > c.cfg.BudgetBytes && len(c.lru) > 1 {
+		victim := c.lru[0]
+		if victim == id {
+			break // never evict what we just admitted
+		}
+		c.lru = c.lru[1:]
+		if c.sys.RemoveView(victim) {
+			c.stats.Bytes -= c.bytes[victim]
+			delete(c.bytes, victim)
+			c.stats.Evictions++
+		}
+	}
+}
+
+// touch moves the used cached views to the recent end.
+func (c *Cache) touch(ids []int) {
+	for _, id := range ids {
+		if _, cached := c.bytes[id]; !cached {
+			continue
+		}
+		for i, v := range c.lru {
+			if v == id {
+				c.lru = append(append(c.lru[:i:i], c.lru[i+1:]...), id)
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of cache-managed views currently live.
+func (c *Cache) Len() int { return len(c.bytes) }

@@ -1,0 +1,133 @@
+package cache_test
+
+import (
+	"strings"
+	"testing"
+
+	"xpathviews"
+	"xpathviews/internal/cache"
+	"xpathviews/internal/xmark"
+)
+
+func newCache(t *testing.T, budget int) *cache.Cache {
+	t.Helper()
+	doc := xmark.Generate(xmark.Config{Scale: 0.08, Seed: 31})
+	sys, err := xpathviews.Open(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cache.New(sys, cache.Config{BudgetBytes: budget, PerViewLimit: xpathviews.DefaultFragmentLimit})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newCache(t, 4<<20)
+	q := "//person[address]/name"
+	first, hit, err := c.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first query cannot hit an empty cache")
+	}
+	second, hit, err := c.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("identical query must hit after admission")
+	}
+	if strings.Join(first.Codes(), ",") != strings.Join(second.Codes(), ",") {
+		t.Fatal("hit answers differ from miss answers")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Admitted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCrossQueryHit: a cached view answers a *different* but contained
+// query — the semantic part of semantic caching.
+func TestCrossQueryHit(t *testing.T) {
+	c := newCache(t, 4<<20)
+	if _, _, err := c.Answer("//person/address/city"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Answer("//person[address]/name"); err != nil {
+		t.Fatal(err)
+	}
+	// Answerable by joining/refining the two cached views.
+	res, hit, err := c.Answer("//person[address/city]/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatalf("expected a multi-view cache hit, stats=%+v", c.Stats())
+	}
+	direct, err := c.System().Answer("//person[address/city]/name", xpathviews.BF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(res.Codes(), ",") != strings.Join(direct.Codes(), ",") {
+		t.Fatal("cache answers differ from direct evaluation")
+	}
+}
+
+func TestEviction(t *testing.T) {
+	c := newCache(t, 2000) // tiny budget forces eviction
+	queries := []string{
+		"//person/address/city",
+		"//open_auction/interval/start",
+		"//closed_auction/price",
+		"//person/profile/age",
+	}
+	for _, q := range queries {
+		if _, _, err := c.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under a %dB budget: %+v", 2000, st)
+	}
+	if st.Bytes > 2000+xpathviews.DefaultFragmentLimit {
+		t.Fatalf("budget wildly exceeded: %+v", st)
+	}
+	// The most recent query must still hit.
+	if _, hit, err := c.Answer(queries[len(queries)-1]); err != nil || !hit {
+		t.Fatalf("most recent admission evicted: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestEmptyResultNotCached(t *testing.T) {
+	c := newCache(t, 4<<20)
+	if _, _, err := c.Answer("//person/nonexistent"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || c.Stats().Rejected != 1 {
+		t.Fatalf("empty result must not be admitted: len=%d stats=%+v", c.Len(), c.Stats())
+	}
+}
+
+func TestRemovedViewsNeverSelected(t *testing.T) {
+	c := newCache(t, 1500)
+	for i := 0; i < 6; i++ {
+		for _, q := range []string{
+			"//person/address/city", "//open_auction/interval/start",
+			"//closed_auction/price", "//person/profile/age",
+		} {
+			res, _, err := c.Answer(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			// Sanity: answers always match direct evaluation even while
+			// views churn in and out of the filter.
+			direct, err := c.System().Answer(q, xpathviews.BF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Join(res.Codes(), ",") != strings.Join(direct.Codes(), ",") {
+				t.Fatalf("%s: cache answers drifted", q)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/xmltree"
+)
+
+// AnswersFast evaluates q using structural joins over the label index:
+// candidate lists per pattern node come from the index, child/descendant
+// conditions propagate by marking parents/ancestor chains (amortized
+// linear), and a top-down pass extracts the answer set. It touches only
+// candidate nodes plus their ancestor chains — the behaviour a "full
+// index" buys (§VI's BF) — and is the evaluator behind both BF and view
+// materialization.
+//
+// Semantically identical to Answers (property-tested).
+func AnswersFast(t *xmltree.Tree, idx *LabelIndex, q *pattern.Pattern) []*xmltree.Node {
+	n := t.Size()
+	qNodes := q.Nodes()
+	qIdx := make(map[*pattern.Node]int, len(qNodes))
+	for i, pn := range qNodes {
+		qIdx[pn] = i
+	}
+	// sets[i] = candidate data nodes where the subtree of pattern node i
+	// embeds rooted at the node.
+	sets := make([][]*xmltree.Node, len(qNodes))
+	// satisfied[i][ord] marks nodes meeting the child-condition of
+	// pattern node i (filled while processing i, consumed by its parent).
+	satisfied := make([][]bool, len(qNodes))
+
+	for i := len(qNodes) - 1; i >= 0; i-- {
+		pn := qNodes[i]
+		var candidates []*xmltree.Node
+		if pn.Label == pattern.Wildcard {
+			candidates = t.Nodes()
+		} else {
+			candidates = idx.Nodes(pn.Label)
+		}
+		var out []*xmltree.Node
+	cand:
+		for _, dn := range candidates {
+			for _, a := range pn.Attrs {
+				v, ok := dn.Attr(a.Name)
+				if !ok || !pattern.CompareAttr(a.Op, v, a.Value) {
+					continue cand
+				}
+			}
+			for _, pc := range pn.Children {
+				if s := satisfied[qIdx[pc]]; s == nil || !s[t.Ord(dn)] {
+					continue cand
+				}
+			}
+			out = append(out, dn)
+		}
+		sets[i] = out
+		// Propagate to the parent's condition row.
+		if i == 0 {
+			break
+		}
+		row := make([]bool, n)
+		if pn.Axis == pattern.Child {
+			for _, dn := range out {
+				if dn.Parent != nil {
+					row[t.Ord(dn.Parent)] = true
+				}
+			}
+		} else {
+			for _, dn := range out {
+				for a := dn.Parent; a != nil; a = a.Parent {
+					ord := t.Ord(a)
+					if row[ord] {
+						break // this chain is already marked above
+					}
+					row[ord] = true
+				}
+			}
+		}
+		satisfied[i] = row
+	}
+
+	// Top-down: keep only candidates reachable under the root-axis rule
+	// and their parents' reachable sets, along the spine only — answers
+	// are what we need.
+	spine := q.Spine()
+	reach := make([]bool, n)
+	for _, dn := range sets[0] {
+		if q.Root.Axis == pattern.Child && dn.Parent != nil {
+			continue
+		}
+		reach[t.Ord(dn)] = true
+	}
+	for si := 1; si < len(spine); si++ {
+		pn := spine[si]
+		i := qIdx[pn]
+		next := make([]bool, n)
+		if pn.Axis == pattern.Child {
+			for _, dn := range sets[i] {
+				if dn.Parent != nil && reach[t.Ord(dn.Parent)] {
+					next[t.Ord(dn)] = true
+				}
+			}
+		} else {
+			// memo: 0 unknown, 1 under-reached, 2 not
+			memo := make([]int8, n)
+			var under func(dn *xmltree.Node) bool
+			under = func(dn *xmltree.Node) bool {
+				if dn == nil {
+					return false
+				}
+				ord := t.Ord(dn)
+				if memo[ord] != 0 {
+					return memo[ord] == 1
+				}
+				ok := reach[ord] || under(dn.Parent)
+				if ok {
+					memo[ord] = 1
+				} else {
+					memo[ord] = 2
+				}
+				return ok
+			}
+			for _, dn := range sets[i] {
+				if under(dn.Parent) {
+					next[t.Ord(dn)] = true
+				}
+			}
+		}
+		reach = next
+	}
+	retSet := sets[qIdx[q.Ret]]
+	var answers []*xmltree.Node
+	for _, dn := range retSet {
+		if reach[t.Ord(dn)] {
+			answers = append(answers, dn)
+		}
+	}
+	SortNodes(t, answers)
+	return answers
+}

@@ -1,0 +1,132 @@
+// Package paperdata reconstructs the running examples of the paper: the
+// book.xml tree of Figure 2 (with the extended Dewey codes used in
+// Examples 2.1 and 5.1), the view set of Table I, and the example query
+// Q_e of Examples 3.4/4.3/5.1.
+//
+// The original Figure 2 had 34 nodes; the figure itself did not survive in
+// the source text, so this is a 28-node reconstruction engineered to
+// reproduce every concrete code and result the prose mentions:
+//
+//   - s3 has code 0.8.6 and label-path b/s/s (Example 2.1);
+//   - t4 = 0.8.6.0, p3 = 0.8.6.1, f1 = 0.8.6.3, p1 = 0.8.1 (Example 5.1);
+//   - V1 = //s[t]/p materializes fragments rooted at eight p nodes;
+//   - V2 = //s[p]/f materializes fragments rooted at {f1, f2, f3};
+//   - Q_e = //s[f//i][t]/p evaluates to {p3, p4, p5, p6, p7}.
+package paperdata
+
+import (
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/xmltree"
+)
+
+// Labels of the book alphabet: book, title, author, section, paragraph,
+// figure, image.
+const (
+	Book      = "b"
+	Title     = "t"
+	Author    = "a"
+	Section   = "s"
+	Paragraph = "p"
+	Figure    = "f"
+	Image     = "i"
+)
+
+// BookTree builds the reconstructed Figure 2 tree.
+func BookTree() *xmltree.Tree {
+	t := xmltree.New(Book)
+	b := t.Root()
+
+	t.AddChild(b, Title)  // t1 (0.0)
+	t.AddChild(b, Author) // a1 (0.1)
+	t.AddChild(b, Author) // a2 (0.4)
+
+	s1 := t.AddChild(b, Section) // s1 (0.5)
+	t.AddChild(s1, Title)        // t2 (0.5.0)
+	t.AddChild(s1, Paragraph)    // p4 (0.5.1)
+	t.AddChild(s1, Paragraph)    // p5 (0.5.5)
+	f2 := t.AddChild(s1, Figure) // f2 (0.5.7)
+	t.AddChild(f2, Image)        // i2 (0.5.7.0)
+	s4 := t.AddChild(s1, Section)
+	t.AddChild(s4, Title)        // t5
+	t.AddChild(s4, Paragraph)    // p6
+	t.AddChild(s4, Paragraph)    // p7
+	f3 := t.AddChild(s4, Figure) // f3
+	t.AddChild(f3, Image)        // i3
+
+	s2 := t.AddChild(b, Section) // s2 (0.8)
+	t.AddChild(s2, Title)        // t3 (0.8.0)
+	t.AddChild(s2, Paragraph)    // p1 (0.8.1)
+	t.AddChild(s2, Paragraph)    // p2 (0.8.5)
+	s3 := t.AddChild(s2, Section)
+	t.AddChild(s3, Title)        // t4 (0.8.6.0)
+	t.AddChild(s3, Paragraph)    // p3 (0.8.6.1)
+	f1 := t.AddChild(s3, Figure) // f1 (0.8.6.3)
+	t.AddChild(f1, Image)        // i1 (0.8.6.3.0)
+	s5 := t.AddChild(s2, Section)
+	t.AddChild(s5, Title)     // t6
+	t.AddChild(s5, Paragraph) // p8
+
+	t.Renumber()
+	return t
+}
+
+// BookFST returns the FST of Figure 3, with the child-alphabet orders the
+// paper's concrete codes imply: under b the order is (t, a, s) and under s
+// it is (t, p, s, f).
+func BookFST() *dewey.FST {
+	return dewey.BuildFSTFromSchema(Book, map[string][]string{
+		Book:    {Title, Author, Section},
+		Section: {Title, Paragraph, Section, Figure},
+		Figure:  {Image},
+	})
+}
+
+// TableIViews returns the four views of Table I in XPath syntax; element 0
+// is V1. The table itself did not survive OCR, so this is a reconstruction
+// engineered to reproduce every concrete statement in Examples 3.2–3.4,
+// 4.3 and 5.1:
+//
+//   - reading w1 = STR(s/f//i) reaches exactly two accepting states,
+//     owned by V2 (path s//i) and V4 (path s/f);
+//   - reading w2 = STR(s/t) increments only NUM(V1);
+//   - reading w3 = STR(s/p) increments all of NUM(V1..V4);
+//   - the final counters are NUM(V1)=2=|D(V1)|, NUM(V2)=2≠3=|D(V2)|,
+//     NUM(V3)=1≠2=|D(V3)|, NUM(V4)=2=|D(V4)|, so the candidates are
+//     exactly {V1, V4};
+//   - the surviving sorted lists are {(V4,2)} for s/f//i, {(V1,2)} for
+//     s/t, and {(V1,2),(V4,2)} for s/p;
+//   - V3 contributes the path s/*//t whose normalization s//*/t is the
+//     P5 of Examples 3.2/3.3;
+//   - V4 = //s[p]/f is the view called V4 in Example 4.3 and V2 in
+//     Example 5.1 (the paper reuses the name), with LC(V4,Q_e) = {i, p}
+//     and LC(V1,Q_e) = {Δ, t, p}, so Algorithm 2 returns {V1, V4}.
+func TableIViews() []string {
+	return []string{
+		"//s[t]/p",        // V1, D = {s/t, s/p}
+		"//s[a][.//i]//p", // V2, D = {s/a, s//i, s//p}
+		"//s[*//t]//p",    // V3, D = {s/*//t, s//p}
+		"//s[p]/f",        // V4, D = {s/p, s/f}
+	}
+}
+
+// QueryE is the running example query of Examples 3.4, 4.3 and 5.1.
+const QueryE = "//s[f//i][t]/p"
+
+// ViewV1 and ViewV2 are the two views of the rewriting walk-through in
+// Example 5.1.
+const (
+	ViewV1 = "//s[t]/p"
+	ViewV2 = "//s[p]/f"
+)
+
+// FindAll returns the nodes of t with the given label, in document order.
+func FindAll(t *xmltree.Tree, label string) []*xmltree.Node {
+	var out []*xmltree.Node
+	t.Walk(func(n *xmltree.Node) bool {
+		if n.Label == label {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,323 @@
+package pattern
+
+import (
+	"xpathviews/internal/xmltree"
+)
+
+// This file implements the exact (coNP) containment test via canonical
+// models, in the style of Miklau & Suciu (the paper's [14]/[15]). It is
+// exponential and exists to validate the PTIME homomorphism test in the
+// test-suite, exactly as the paper positions it ("it is rare to find where
+// containment holds but no homomorphism exists", §IV).
+
+// zLabel is a label outside every document alphabet, used for wildcard
+// instantiation and //-edge extension in canonical models.
+const zLabel = "\x00z"
+
+// canonicalModels enumerates the canonical data trees of p: wildcards
+// become z-nodes and every //-edge is expanded into a chain of 0..ext
+// intermediate z-nodes.
+func canonicalModels(p *Pattern, ext int, yield func(*xmltree.Tree) bool) {
+	// Collect descendant edges: every node with Axis == Descendant
+	// (including the root, whose //-axis hangs it below a virtual root —
+	// for boolean evaluation we root models at a synthetic document node).
+	nodes := p.Nodes()
+	var descIdx []int
+	for i, n := range nodes {
+		if n.Axis == Descendant {
+			descIdx = append(descIdx, i)
+		}
+	}
+	ext++ // chain lengths 1..ext+1 edges → 0..ext intermediates
+	choice := make([]int, len(descIdx))
+	chainLen := make(map[*Node]int, len(descIdx))
+	for {
+		for k, idx := range descIdx {
+			chainLen[nodes[idx]] = choice[k]
+		}
+		t := buildCanonical(p, chainLen)
+		if !yield(t) {
+			return
+		}
+		// next choice vector
+		k := 0
+		for k < len(choice) {
+			choice[k]++
+			if choice[k] < ext {
+				break
+			}
+			choice[k] = 0
+			k++
+		}
+		if k == len(choice) {
+			return
+		}
+	}
+}
+
+// buildCanonical instantiates p as a data tree: a synthetic root labelled
+// zLabel stands in for the document root so that root axes are modelled
+// uniformly.
+func buildCanonical(p *Pattern, chainLen map[*Node]int) *xmltree.Tree {
+	t := xmltree.New(zLabel)
+	var build func(pn *Node, parent *xmltree.Node)
+	build = func(pn *Node, parent *xmltree.Node) {
+		anchor := parent
+		if pn.Axis == Descendant {
+			for i := 0; i < chainLen[pn]; i++ {
+				anchor = t.AddChild(anchor, zLabel)
+			}
+		}
+		label := pn.Label
+		if label == Wildcard {
+			label = zLabel
+		}
+		dn := t.AddChild(anchor, label)
+		for _, a := range pn.Attrs {
+			if a.Op == AttrExists || a.Op == AttrEq {
+				dn.SetAttr(a.Name, a.Value)
+			}
+		}
+		for _, c := range pn.Children {
+			build(c, dn)
+		}
+	}
+	build(p.Root, t.Root())
+	t.Renumber()
+	return t
+}
+
+// evalBool reports whether pattern p has an embedding in t, where t's root
+// is a synthetic document node (patterns anchor below it). This is a
+// reference implementation used for canonical-model checking; the query
+// engine has its own evaluators.
+func evalBool(p *Pattern, t *xmltree.Tree) bool {
+	// memoized "subtree of p at pn embeds at data node dn"
+	type key struct {
+		pn *Node
+		dn *xmltree.Node
+	}
+	memo := make(map[key]int8)
+	var embeds func(pn *Node, dn *xmltree.Node) bool
+	var embedsBelow func(pn *Node, dn *xmltree.Node) bool
+	embeds = func(pn *Node, dn *xmltree.Node) bool {
+		k := key{pn, dn}
+		if v, ok := memo[k]; ok {
+			return v == 1
+		}
+		memo[k] = 0
+		ok := pn.Label == Wildcard || pn.Label == dn.Label
+		if ok {
+			for _, a := range pn.Attrs {
+				if !evalAttrOnNode(a, dn) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			for _, pc := range pn.Children {
+				var found bool
+				if pc.Axis == Child {
+					for _, dc := range dn.Children {
+						if embeds(pc, dc) {
+							found = true
+							break
+						}
+					}
+				} else {
+					found = embedsBelow(pc, dn)
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			memo[k] = 1
+		}
+		return ok
+	}
+	embedsBelow = func(pn *Node, dn *xmltree.Node) bool {
+		for _, dc := range dn.Children {
+			if embeds(pn, dc) || embedsBelow(pn, dc) {
+				return true
+			}
+		}
+		return false
+	}
+	root := t.Root()
+	if p.Root.Axis == Child {
+		for _, dc := range root.Children {
+			if embeds(p.Root, dc) {
+				return true
+			}
+		}
+		return false
+	}
+	return embedsBelow(p.Root, root)
+}
+
+// evalAttrOnNode evaluates one attribute predicate on a data node.
+func evalAttrOnNode(a AttrPred, dn *xmltree.Node) bool {
+	v, ok := dn.Attr(a.Name)
+	if !ok {
+		return false
+	}
+	return CompareAttr(a.Op, v, a.Value)
+}
+
+// CompareAttr applies op to a data value and a predicate constant,
+// numerically when both sides parse as integers, lexicographically
+// otherwise.
+func CompareAttr(op AttrOp, dataVal, predVal string) bool {
+	if op == AttrExists {
+		return true
+	}
+	ai, aok := parseInt(dataVal)
+	bi, bok := parseInt(predVal)
+	var cmp int
+	if aok && bok {
+		switch {
+		case ai < bi:
+			cmp = -1
+		case ai > bi:
+			cmp = 1
+		}
+	} else {
+		switch {
+		case dataVal < predVal:
+			cmp = -1
+		case dataVal > predVal:
+			cmp = 1
+		}
+	}
+	switch op {
+	case AttrEq:
+		return cmp == 0
+	case AttrNe:
+		return cmp != 0
+	case AttrLt:
+		return cmp < 0
+	case AttrLe:
+		return cmp <= 0
+	case AttrGt:
+		return cmp > 0
+	case AttrGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+func parseInt(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if s[0] == '-' {
+		neg = true
+		i = 1
+		if len(s) == 1 {
+			return 0, false
+		}
+	}
+	var v int64
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(s[i]-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// ContainsExact decides p ⊑ q exactly by checking q on every canonical
+// model of p, with //-extensions up to |q|+1 intermediate nodes (a safe
+// bound for the fragment). Exponential in the number of //-edges of p —
+// test-suite use only.
+func ContainsExact(p, q *Pattern) bool {
+	ext := q.Size() + 1
+	contained := true
+	canonicalModels(p, ext, func(t *xmltree.Tree) bool {
+		if !evalBool(q, t) {
+			contained = false
+			return false
+		}
+		return true
+	})
+	return contained
+}
+
+// EquivalentExact decides p ≡ q exactly (test-suite use only).
+func EquivalentExact(p, q *Pattern) bool {
+	return ContainsExact(p, q) && ContainsExact(q, p)
+}
+
+// Minimize returns an equivalent pattern with redundant predicate
+// branches removed (§II, citing [24]). A branch not containing the answer
+// node is removed when a homomorphism shows the reduced pattern is still
+// contained in the original (the reverse containment is trivial, so the
+// two are equivalent). Homomorphism incompleteness can only leave a
+// pattern slightly larger than optimal, never change its semantics.
+func Minimize(p *Pattern) *Pattern {
+	cur := p.Clone()
+	for {
+		removed := false
+		var try func(n *Node) bool
+		try = func(n *Node) bool {
+			for i, c := range n.Children {
+				if AncestorOrSelf(c, cur.Ret) {
+					if try(c) {
+						return true
+					}
+					continue
+				}
+				// Candidate: drop child i and test equivalence.
+				reduced := cur.Clone()
+				// locate the corresponding node in the clone by path
+				rn := findTwin(cur.Root, reduced.Root, n)
+				rc := rn.Children[i]
+				rn.Children = append(rn.Children[:i:i], rn.Children[i+1:]...)
+				_ = rc
+				if Contains(cur, reduced) {
+					cur = reduced
+					return true
+				}
+				if try(c) {
+					return true
+				}
+			}
+			return false
+		}
+		removed = try(cur.Root)
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// findTwin locates in cloneRoot the node occupying the same tree position
+// as target occupies under origRoot.
+func findTwin(origRoot, cloneRoot, target *Node) *Node {
+	// compute child-index path from origRoot to target
+	var idxPath []int
+	for n := target; n != origRoot; n = n.Parent {
+		p := n.Parent
+		for i, c := range p.Children {
+			if c == n {
+				idxPath = append(idxPath, i)
+				break
+			}
+		}
+	}
+	cur := cloneRoot
+	for i := len(idxPath) - 1; i >= 0; i-- {
+		cur = cur.Children[idxPath[i]]
+	}
+	return cur
+}

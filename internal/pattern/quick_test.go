@@ -1,0 +1,150 @@
+package pattern_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/xpath"
+)
+
+// quickPath derives a random path from quick's raw values, so shrinking
+// and reproduction work through testing/quick's machinery.
+func quickPath(seed int64, steps int) pattern.Path {
+	r := rand.New(rand.NewSource(seed))
+	n := 1 + (steps%5+5)%5
+	return randomPath(r, n)
+}
+
+// TestQuickNormalizeIdempotent: N(N(P)) = N(P).
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(seed int64, steps int) bool {
+		p := quickPath(seed, steps)
+		n1 := pattern.Normalize(p)
+		n2 := pattern.Normalize(n1)
+		return n1.Key() == n2.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNormalizePreservesShape: normalization never changes labels,
+// step count, or the number of descendant edges beyond collapsing runs.
+func TestQuickNormalizeShape(t *testing.T) {
+	f := func(seed int64, steps int) bool {
+		p := quickPath(seed, steps)
+		n := pattern.Normalize(p)
+		if len(n.Steps) != len(p.Steps) {
+			return false
+		}
+		for i := range n.Steps {
+			if n.Steps[i].Label != p.Steps[i].Label {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickContainsReflexiveTransitive: containment by homomorphism is
+// reflexive, and transitive on witnessed pairs.
+func TestQuickContainsReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPattern(r, 6)
+		return pattern.Contains(p, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickContainsTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	found := 0
+	for i := 0; i < 3000 && found < 40; i++ {
+		a := randomPattern(r, 3)
+		b := randomPattern(r, 4)
+		c := randomPattern(r, 5)
+		// a ⊒ b and b ⊒ c must imply a ⊒ c.
+		if pattern.Contains(a, b) && pattern.Contains(b, c) {
+			found++
+			if !pattern.Contains(a, c) {
+				t.Fatalf("transitivity violated: %s ⊒ %s ⊒ %s", a, b, c)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no chains found; vacuous")
+	}
+}
+
+// TestQuickDecomposeCoversLeaves: |D(Q)| ≤ #leaves and every leaf's path
+// is represented.
+func TestQuickDecomposeCoversLeaves(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPattern(r, 7)
+		d := pattern.Decompose(p)
+		return len(d) > 0 && len(d) <= len(p.Leaves())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinimizeSound: Minimize output is equivalent (checked exactly)
+// and never larger.
+func TestQuickMinimizeSound(t *testing.T) {
+	r := rand.New(rand.NewSource(607))
+	for i := 0; i < 80; i++ {
+		p := randomPattern(r, 5)
+		m := pattern.Minimize(p)
+		if m.Size() > p.Size() {
+			t.Fatalf("Minimize grew %s to %s", p, m)
+		}
+		if !pattern.EquivalentExact(p, m) {
+			t.Fatalf("Minimize changed semantics: %s vs %s", p, m)
+		}
+	}
+}
+
+// TestQuickCloneIndependent: mutating a clone never affects the original.
+func TestQuickCloneIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPattern(r, 6)
+		before := p.String()
+		c := p.Clone()
+		c.Root.Label = "zz"
+		if len(c.Root.Children) > 0 {
+			c.Root.Children[0].Axis = pattern.Descendant
+		}
+		return p.String() == before && c.Ret != p.Ret
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParseRoundTripStable: String → Parse → String is a fixpoint.
+func TestQuickParseRoundTripStable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPattern(r, 6)
+		s1 := p.String()
+		back, err := xpath.Parse(s1)
+		if err != nil {
+			return false
+		}
+		return back.String() == s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package rewrite
+
+import (
+	"sort"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/views"
+)
+
+// This file implements the second of §VII's planned extensions: "maximal
+// rewriting using multiple views in data integration scenario". When no
+// equivalent rewriting exists, a *contained* rewriting returns a sound
+// subset of the query's answers — every reported node is a true answer,
+// but some answers may be missing. This is the classic fallback when
+// views, not base data, are all that is accessible.
+//
+// A view V contributes its fragments when a homomorphism from Q into V
+// maps RET(Q) onto RET(V) (respecting root axes): V's pattern is then at
+// least as restrictive as Q around the same answer position, so every
+// materialized answer of V satisfies Q. The result is the union over all
+// such views — maximal for this single-view certification rule.
+
+// Contained computes a contained rewriting of q over the given views.
+// The result's answers are always a subset of q's true answers; Complete
+// reports whether some view certified equivalence (V ≡ Q at the answer
+// position in both directions), in which case the subset is exact.
+type ContainedResult struct {
+	Answers []Answer
+	// ViewsUsed lists contributing view IDs.
+	ViewsUsed []int
+	// Complete reports that the union is known to be the full answer set.
+	Complete bool
+}
+
+// Contained runs the contained rewriting. fst is unused today but kept
+// for symmetry with Execute (future per-fragment refinement of contained
+// answers would need it).
+func Contained(q *pattern.Pattern, all []*views.View, fst *dewey.FST) *ContainedResult {
+	res := &ContainedResult{}
+	seen := make(map[string]bool)
+	for _, v := range all {
+		if v == nil || v.IsEmpty() {
+			continue
+		}
+		if !answersContained(q, v.Pattern) {
+			continue
+		}
+		res.ViewsUsed = append(res.ViewsUsed, v.ID)
+		if !res.Complete && answersContained(v.Pattern, q) {
+			// Mutual containment at the answer position: V's answers are
+			// exactly Q's.
+			res.Complete = true
+		}
+		for fi := range v.Fragments {
+			f := &v.Fragments[fi]
+			key := f.Code.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			res.Answers = append(res.Answers, Answer{Code: f.Code, Node: f.Tree.Root()})
+		}
+	}
+	sort.Slice(res.Answers, func(i, j int) bool {
+		return dewey.Compare(res.Answers[i].Code, res.Answers[j].Code) < 0
+	})
+	return res
+}
+
+// answersContained reports that every answer of inner is an answer of
+// outer: a homomorphism from outer into inner mapping RET(outer) onto
+// RET(inner). (Sound; incomplete in the usual homomorphism corners.)
+func answersContained(outer, inner *pattern.Pattern) bool {
+	h := pattern.NewHom(outer, inner)
+	for _, m := range h.SpineMappings() {
+		if m.Ret() == inner.Ret {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package rewrite_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/rewrite"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xpath"
+)
+
+// TestContainedSubsetAndCompleteness on the book tree: a more
+// restrictive view yields a strict, sound subset; an equivalent view
+// yields the full set with Complete=true.
+func TestContainedSubsetAndCompleteness(t *testing.T) {
+	tree := paperdata.BookTree()
+	enc, err := dewey.Encode(tree, paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := views.NewRegistry(tree, enc)
+	// Restrictive: only paragraphs of sections that also have a figure.
+	restrictive, err := reg.Add(xpath.MustParse("//s[t][f]/p"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := xpath.MustParse("//s[t]/p")
+	direct := engine.Answers(tree, q)
+
+	res := rewrite.Contained(q, reg.ViewList, enc.FST())
+	if res.Complete {
+		t.Fatal("restrictive view must not be reported complete")
+	}
+	if len(res.Answers) == 0 || len(res.Answers) >= len(direct) {
+		t.Fatalf("contained answers = %d, want a non-empty strict subset of %d", len(res.Answers), len(direct))
+	}
+	directSet := map[string]bool{}
+	for _, n := range direct {
+		directSet[enc.MustCode(n).String()] = true
+	}
+	for _, a := range res.Answers {
+		if !directSet[a.Code.String()] {
+			t.Fatalf("contained rewriting returned a wrong answer %s", a.Code)
+		}
+	}
+	if len(res.ViewsUsed) != 1 || res.ViewsUsed[0] != restrictive.ID {
+		t.Fatalf("ViewsUsed = %v", res.ViewsUsed)
+	}
+
+	// Add an equivalent view: result becomes complete.
+	if _, err := reg.Add(xpath.MustParse("//s[t]/p"), 0); err != nil {
+		t.Fatal(err)
+	}
+	res2 := rewrite.Contained(q, reg.ViewList, enc.FST())
+	if !res2.Complete || len(res2.Answers) != len(direct) {
+		t.Fatalf("with an equivalent view: complete=%v answers=%d want %d",
+			res2.Complete, len(res2.Answers), len(direct))
+	}
+}
+
+// TestContainedSoundnessRandomized: contained answers are always a subset
+// of direct evaluation, on random documents/views/queries.
+func TestContainedSoundnessRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(311))
+	labels := []string{"a", "b", "c", "d"}
+	contributed := 0
+	for doc := 0; doc < 12; doc++ {
+		tree := randomTree(r, 100, labels)
+		enc, fst, err := dewey.EncodeTree(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := views.NewRegistry(tree, enc)
+		for len(reg.ViewList) < 20 {
+			if _, err := reg.Add(randomPattern(r, labels, 4), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for qi := 0; qi < 25; qi++ {
+			q := pattern.Minimize(randomPattern(r, labels, 5))
+			res := rewrite.Contained(q, reg.ViewList, fst)
+			if len(res.Answers) == 0 {
+				continue
+			}
+			contributed++
+			want := map[string]bool{}
+			for _, n := range engine.Answers(tree, q) {
+				want[enc.MustCode(n).String()] = true
+			}
+			for _, a := range res.Answers {
+				if !want[a.Code.String()] {
+					t.Fatalf("unsound contained answer %s for %s", a.Code, q)
+				}
+			}
+			if res.Complete && len(res.Answers) != len(want) {
+				t.Fatalf("Complete claimed but %d != %d for %s", len(res.Answers), len(want), q)
+			}
+		}
+	}
+	if contributed < 15 {
+		t.Fatalf("only %d contributing cases", contributed)
+	}
+}

@@ -1,0 +1,261 @@
+package rewrite
+
+import (
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
+)
+
+// joiner matches the query's upper pattern on the virtual tree, once per
+// Δ-view fragment, reusing all scratch state across fragments. The upper
+// pattern is Q restricted to the union of the root→X_i paths: everything
+// below an X_i is already verified inside fragments by refinement, and
+// predicate branches discharged by rigid guarantees are enforced as pins
+// rather than matched structurally.
+type joiner struct {
+	q      *pattern.Pattern
+	qIdx   map[*pattern.Node]int
+	qNodes []*pattern.Node
+	vt     *vtree
+
+	keep      []bool  // query node participates in the upper twig
+	deltaPath []bool  // query node lies on root→X_Δ
+	landAt    [][]int // view indexes landing on the query node
+	keptKids  [][]int // kept children (as qIdx) per query node
+
+	covers   []*selection.Cover
+	pins     [][]selection.Pin
+	deltaIdx int
+
+	// per-fragment scratch
+	assign     []int32 // by qIdx; -1 unassigned
+	fragChoice []*views.Fragment
+	chain      []int32
+	deltaFrag  *views.Fragment
+}
+
+// joinUpper returns the Δ-view fragments that participate in at least one
+// embedding of the upper pattern in the virtual tree.
+func joinUpper(q *pattern.Pattern, covers []*selection.Cover, refined []refinedView, vt *vtree, anchors [][]int32, deltaIdx int) []*views.Fragment {
+	j := newJoiner(q, covers, vt, deltaIdx)
+	out := make([]*views.Fragment, 0, len(refined[deltaIdx].frags))
+	for fi, frag := range refined[deltaIdx].frags {
+		if j.embed(frag, anchors[deltaIdx][fi]) {
+			out = append(out, frag)
+		}
+	}
+	return out
+}
+
+func newJoiner(q *pattern.Pattern, covers []*selection.Cover, vt *vtree, deltaIdx int) *joiner {
+	j := &joiner{q: q, covers: covers, vt: vt, deltaIdx: deltaIdx, qNodes: q.Nodes()}
+	n := len(j.qNodes)
+	j.qIdx = make(map[*pattern.Node]int, n)
+	for i, qn := range j.qNodes {
+		j.qIdx[qn] = i
+	}
+	j.keep = make([]bool, n)
+	j.deltaPath = make([]bool, n)
+	j.landAt = make([][]int, n)
+	j.keptKids = make([][]int, n)
+	j.assign = make([]int32, n)
+	for i := range j.assign {
+		j.assign[i] = -1
+	}
+	j.fragChoice = make([]*views.Fragment, len(covers))
+	j.pins = make([][]selection.Pin, len(covers))
+	for i, c := range covers {
+		for qn := c.X; qn != nil; qn = qn.Parent {
+			j.keep[j.qIdx[qn]] = true
+		}
+		j.landAt[j.qIdx[c.X]] = append(j.landAt[j.qIdx[c.X]], i)
+		j.pins[i] = c.Pins
+	}
+	for qn := covers[deltaIdx].X; qn != nil; qn = qn.Parent {
+		j.deltaPath[j.qIdx[qn]] = true
+	}
+	for i, qn := range j.qNodes {
+		for _, c := range qn.Children {
+			ci := j.qIdx[c]
+			if j.keep[ci] {
+				j.keptKids[i] = append(j.keptKids[i], ci)
+			}
+		}
+	}
+	return j
+}
+
+// embed reports whether the upper pattern embeds with the Δ landing node
+// pinned to this fragment's anchor node.
+func (j *joiner) embed(frag *views.Fragment, anchor int32) bool {
+	j.deltaFrag = frag
+	// chain[d] = depth-d ancestor of anchor; chain[0] is the document
+	// root. Reuse the backing array.
+	depth := j.vt.depth(anchor)
+	if cap(j.chain) < depth+1 {
+		j.chain = make([]int32, depth+1)
+	}
+	j.chain = j.chain[:depth+1]
+	for v := anchor; v >= 0; v = j.vt.nodes[v].parent {
+		j.chain[j.vt.depth(v)] = v
+	}
+	for i := range j.assign {
+		j.assign[i] = -1
+	}
+	for i := range j.fragChoice {
+		j.fragChoice[i] = nil
+	}
+	// The query root is on the Δ-path, so it maps onto the anchor chain:
+	// a '/'-rooted query at chain[0], a '//'-rooted one anywhere on it.
+	rootIdx := j.qIdx[j.q.Root]
+	if !j.keep[rootIdx] {
+		return false
+	}
+	if j.q.Root.Axis == pattern.Child {
+		return j.try(rootIdx, j.chain[0])
+	}
+	for _, v := range j.chain {
+		if j.try(rootIdx, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// pinsOK validates every pin of view vi whose target is already assigned
+// against the candidate fragment.
+func (j *joiner) pinsOK(vi int, frag *views.Fragment) bool {
+	for _, p := range j.pins[vi] {
+		w := j.assign[j.qIdx[p.Y]]
+		if w < 0 {
+			continue // ancestors are always assigned before descendants
+		}
+		wc := j.vt.nodes[w].code
+		want := len(frag.Code) - p.K
+		if want < 1 || len(wc) != want || !isPrefixCode(wc, frag.Code) {
+			return false
+		}
+	}
+	return true
+}
+
+func isPrefixCode(w, c []uint32) bool {
+	if len(w) > len(c) {
+		return false
+	}
+	for i := range w {
+		if w[i] != c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// try assigns query node qi to arena node at and recursively places its
+// kept children; on failure all assignments made beneath are rolled back.
+func (j *joiner) try(qi int, at int32) bool {
+	qn := j.qNodes[qi]
+	if qn.Label != pattern.Wildcard && qn.Label != j.vt.nodes[at].label {
+		return false
+	}
+	j.assign[qi] = at
+	var chosen int // count of fragChoice entries set here
+	fail := func() bool {
+		for _, vi := range j.landAt[qi][:chosen] {
+			j.fragChoice[vi] = nil
+		}
+		j.assign[qi] = -1
+		return false
+	}
+	for _, vi := range j.landAt[qi] {
+		var pick *views.Fragment
+		j.vt.fragsAt(at, vi, func(f *views.Fragment) bool {
+			if vi == j.deltaIdx && f != j.deltaFrag {
+				return true
+			}
+			if j.pinsOK(vi, f) {
+				pick = f
+				return false
+			}
+			return true
+		})
+		if pick == nil {
+			return fail()
+		}
+		j.fragChoice[vi] = pick
+		chosen++
+	}
+	if !j.placeKids(qi, at, 0) {
+		return fail()
+	}
+	return true
+}
+
+// placeKids places the kept children of qi starting from index k.
+func (j *joiner) placeKids(qi int, at int32, k int) bool {
+	kids := j.keptKids[qi]
+	if k == len(kids) {
+		return true
+	}
+	ci := kids[k]
+	c := j.qNodes[ci]
+	place := func(v int32) bool {
+		if !j.try(ci, v) {
+			return false
+		}
+		if j.placeKids(qi, at, k+1) {
+			return true
+		}
+		j.unassign(ci)
+		return false
+	}
+	if j.deltaPath[ci] {
+		// c maps onto the anchor chain only; its parent must itself sit
+		// on the chain.
+		d := j.vt.depth(at)
+		if d >= len(j.chain) || j.chain[d] != at {
+			return false
+		}
+		if c.Axis == pattern.Child {
+			return d+1 < len(j.chain) && place(j.chain[d+1])
+		}
+		for dd := d + 1; dd < len(j.chain); dd++ {
+			if place(j.chain[dd]) {
+				return true
+			}
+		}
+		return false
+	}
+	if c.Axis == pattern.Child {
+		for v := j.vt.nodes[at].firstChild; v >= 0; v = j.vt.nodes[v].nextSib {
+			if place(v) {
+				return true
+			}
+		}
+		return false
+	}
+	var desc func(v int32) bool
+	desc = func(v int32) bool {
+		for ch := j.vt.nodes[v].firstChild; ch >= 0; ch = j.vt.nodes[ch].nextSib {
+			if place(ch) || desc(ch) {
+				return true
+			}
+		}
+		return false
+	}
+	return desc(at)
+}
+
+// unassign rolls back the subtree assignment rooted at query node qi.
+func (j *joiner) unassign(qi int) {
+	if !j.keep[qi] {
+		return
+	}
+	j.assign[qi] = -1
+	for _, vi := range j.landAt[qi] {
+		j.fragChoice[vi] = nil
+	}
+	for _, ci := range j.keptKids[qi] {
+		j.unassign(ci)
+	}
+}

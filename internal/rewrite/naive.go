@@ -1,0 +1,82 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
+)
+
+// ExecuteNaive is the ablation baseline for the holistic join: instead of
+// one merged scan into a prefix trie, it enumerates the full cross
+// product of refined fragment tuples and re-checks the upper pattern per
+// tuple. Semantically identical to Execute; asymptotically worse in the
+// number of views (the paper's motivation for a holistic algorithm).
+func ExecuteNaive(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) (*Result, error) {
+	if len(sel.Covers) == 0 {
+		return nil, fmt.Errorf("rewrite: empty selection")
+	}
+	if !selection.Answerable(q, sel.Covers) {
+		return nil, selection.ErrNotAnswerable
+	}
+	deltaIdx := chooseDelta(sel.Covers)
+	if deltaIdx < 0 {
+		return nil, fmt.Errorf("rewrite: no Δ-view in selection")
+	}
+	covers := sel.Covers
+	res := &Result{}
+
+	refined := make([]refinedView, len(covers))
+	for i, c := range covers {
+		if err := refineView(q, c, fst, &refined[i], res); err != nil {
+			return nil, err
+		}
+		if len(refined[i].frags) == 0 {
+			return res, nil
+		}
+	}
+
+	var joined []*views.Fragment
+	tuple := make([]int, len(covers))
+	seen := make(map[string]bool)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(covers) {
+			if tupleJoins(q, covers, refined, tuple, fst, deltaIdx) {
+				f := refined[deltaIdx].frags[tuple[deltaIdx]]
+				key := f.Code.String()
+				if !seen[key] {
+					seen[key] = true
+					joined = append(joined, f)
+				}
+			}
+			return
+		}
+		for fi := range refined[i].frags {
+			tuple[i] = fi
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	res.FragmentsJoined = len(joined)
+	extract(q, covers[deltaIdx], joined, res)
+	return res, nil
+}
+
+// tupleJoins re-checks one concrete fragment tuple by building a tiny
+// virtual tree from just these codes and matching the upper pattern.
+func tupleJoins(q *pattern.Pattern, covers []*selection.Cover, refined []refinedView, tuple []int, fst *dewey.FST, deltaIdx int) bool {
+	mini := make([]refinedView, len(tuple))
+	for i, fi := range tuple {
+		mini[i] = refinedView{
+			frags:  []*views.Fragment{refined[i].frags[fi]},
+			labels: [][]string{refined[i].labels[fi]},
+		}
+	}
+	vt, anchors := buildVirtual(fst, mini)
+	joined := joinUpper(q, covers, mini, vt, anchors, deltaIdx)
+	putVtree(vt)
+	return len(joined) > 0
+}

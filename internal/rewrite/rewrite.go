@@ -1,0 +1,258 @@
+// Package rewrite implements §V: equivalent query rewriting over the
+// materialized fragments of a selected view set, without touching base
+// data. The pipeline is
+//
+//  1. refinement — each selected view's fragments are filtered by a
+//     compensating pattern (the query's subtree at the node the view's
+//     answers land on), "pushing selection" before the join;
+//  2. root-path filtering — a fragment participates only when its
+//     extended-Dewey-decoded label-path matches the query's root-to-
+//     landing-node path pattern;
+//  3. holistic join — fragment roots of all views are merged (one scan
+//     of the sorted code streams) into a prefix trie, the virtual tree;
+//     the query's upper pattern is matched on it with the views' answer
+//     positions pinned to fragment roots and the selection's rigid
+//     anchors (Pin) enforced;
+//  4. extraction — for every Δ-view fragment that joins, the
+//     compensating answer pattern extracts RET(Q) inside the fragment.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xmltree"
+)
+
+// Answer is one query result produced from view fragments only.
+type Answer struct {
+	// Code is the answer node's extended Dewey code in the base document.
+	Code dewey.Code
+	// Node is the answer node inside the owning fragment's copy.
+	Node *xmltree.Node
+}
+
+// Result is the outcome of rewriting.
+type Result struct {
+	Answers []Answer
+	// Stats for benchmarking/ablation.
+	FragmentsScanned int
+	FragmentsJoined  int
+}
+
+// Codes returns the answers' codes, sorted in document order.
+func (r *Result) Codes() []dewey.Code {
+	out := make([]dewey.Code, len(r.Answers))
+	for i, a := range r.Answers {
+		out[i] = a.Code
+	}
+	sort.Slice(out, func(i, j int) bool { return dewey.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Execute answers q from the selected covers' materialized fragments.
+// fst must be the document's FST (shipped with the view store; not base
+// data). The selection must be answerable — callers obtain it from
+// selection.Minimum or selection.Heuristic.
+func Execute(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) (*Result, error) {
+	if len(sel.Covers) == 0 {
+		return nil, fmt.Errorf("rewrite: empty selection")
+	}
+	if !selection.Answerable(q, sel.Covers) {
+		return nil, selection.ErrNotAnswerable
+	}
+	deltaIdx := chooseDelta(sel.Covers)
+	if deltaIdx < 0 {
+		return nil, fmt.Errorf("rewrite: no Δ-view in selection")
+	}
+	covers := sel.Covers
+	res := &Result{}
+
+	// Stage 1+2: refine fragments and filter by decoded root paths.
+	refined := make([]refinedView, len(covers))
+	for i, c := range covers {
+		if err := refineView(q, c, fst, &refined[i], res); err != nil {
+			return nil, err
+		}
+		if len(refined[i].frags) == 0 {
+			return res, nil // some view contributes nothing → empty result
+		}
+	}
+
+	// Fast path: a strong Δ-cover answers alone (condition 3, §IV-A).
+	dc := covers[deltaIdx]
+	if dc.Strong && len(covers) == 1 {
+		extract(q, dc, refined[deltaIdx].frags, res)
+		return res, nil
+	}
+
+	// Stage 3: holistic join on the virtual tree.
+	vt, anchors := buildVirtual(fst, refined)
+	joined := joinUpper(q, covers, refined, vt, anchors, deltaIdx)
+	putVtree(vt)
+	res.FragmentsJoined = len(joined)
+
+	// Stage 4: extraction from the Δ-view's joined fragments.
+	extract(q, dc, joined, res)
+	return res, nil
+}
+
+// refinedView holds a view's surviving fragments and their decoded
+// label-paths (decoded once, reused by the join).
+type refinedView struct {
+	frags  []*views.Fragment
+	labels [][]string
+}
+
+// refineView applies the compensating pattern and the root-path filter to
+// every fragment of one cover.
+func refineView(q *pattern.Pattern, c *selection.Cover, fst *dewey.FST, out *refinedView, res *Result) error {
+	comp := compensating(q, c.X)
+	// The root-path filter already certifies x's own label; when the
+	// compensating pattern has no predicates below x, refinement is a
+	// no-op.
+	trivialComp := len(comp.Root.Children) == 0 && len(comp.Root.Attrs) == 0
+	rootPath := rootToNodePath(q, c.X)
+	// One label slab for all fragments of the view; kept label-paths are
+	// sub-slices (when the slab grows, older backing arrays stay alive
+	// through them, which is exactly what we want).
+	slab := make([]string, 0, 8*len(c.View.Fragments))
+	out.frags = make([]*views.Fragment, 0, len(c.View.Fragments))
+	out.labels = make([][]string, 0, len(c.View.Fragments))
+	for fi := range c.View.Fragments {
+		f := &c.View.Fragments[fi]
+		res.FragmentsScanned++
+		start := len(slab)
+		var err error
+		slab, err = fst.DecodeAppend(f.Code, slab)
+		if err != nil {
+			return fmt.Errorf("rewrite: decode %s: %w", f.Code, err)
+		}
+		labels := slab[start:len(slab):len(slab)]
+		if !labelPathMatches(labels, rootPath) {
+			slab = slab[:start]
+			continue
+		}
+		if !trivialComp && !engine.MatchesAtRoot(f.Tree, comp) {
+			slab = slab[:start]
+			continue
+		}
+		out.frags = append(out.frags, f)
+		out.labels = append(out.labels, labels)
+	}
+	return nil
+}
+
+// chooseDelta picks the Δ-view: prefer strong covers, then the deepest
+// landing node (smallest extraction work), then larger covers.
+func chooseDelta(covers []*selection.Cover) int {
+	best := -1
+	for i, c := range covers {
+		if !c.Delta {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := covers[best]
+		switch {
+		case c.Strong != b.Strong:
+			if c.Strong {
+				best = i
+			}
+		case depthOf(c.X) != depthOf(b.X):
+			if depthOf(c.X) > depthOf(b.X) {
+				best = i
+			}
+		case c.Size() > b.Size():
+			best = i
+		}
+	}
+	return best
+}
+
+func depthOf(n *pattern.Node) int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// compensating builds the pattern applied to each fragment of a view
+// landing on x: the query's subtree at x. The fragment root is pinned to
+// x, so the root axis is irrelevant.
+func compensating(q *pattern.Pattern, x *pattern.Node) *pattern.Pattern {
+	return q.SubtreeAt(x)
+}
+
+// rootToNodePath is the path pattern from the query root down to x.
+func rootToNodePath(q *pattern.Pattern, x *pattern.Node) pattern.Path {
+	var rev []pattern.Step
+	for n := x; n != nil; n = n.Parent {
+		rev = append(rev, pattern.Step{Axis: n.Axis, Label: n.Label})
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return pattern.Path{Steps: rev}
+}
+
+// labelPathMatches reports whether a concrete root label-path satisfies a
+// path pattern ending exactly at the path's last label — the classic
+// O(|labels|·|steps|) DP over (step, position) pairs. Child steps consume
+// the next label; descendant steps may skip any number of labels first.
+func labelPathMatches(labels []string, p pattern.Path) bool {
+	steps := p.Steps
+	n, m := len(labels), len(steps)
+	if m == 0 || n == 0 {
+		return m == 0 && n == 0
+	}
+	// end[i] (current row j): steps[:j] matched, step j-1 exactly at
+	// labels[i-1]. before[i]: ∃ i' < i with end-of-previous-row at i'.
+	// Stack buffers keep the per-fragment hot path allocation-free.
+	var prevBuf, curBuf [64]bool
+	var prev, cur []bool
+	if n < 64 {
+		prev, cur = prevBuf[:n+1], curBuf[:n+1]
+	} else {
+		prev, cur = make([]bool, n+1), make([]bool, n+1)
+	}
+	for j := 1; j <= m; j++ {
+		s := steps[j-1]
+		anyBefore := false
+		for i := 1; i <= n; i++ {
+			if j > 1 && prev[i-1] {
+				anyBefore = true
+			}
+			ok := s.Label == pattern.Wildcard || s.Label == labels[i-1]
+			if ok {
+				if s.Axis == pattern.Child {
+					if j == 1 {
+						ok = i == 1
+					} else {
+						ok = prev[i-1]
+					}
+				} else {
+					if j == 1 {
+						ok = true
+					} else {
+						ok = anyBefore
+					}
+				}
+			}
+			cur[i] = ok
+		}
+		prev, cur = cur, prev
+		for i := range cur {
+			cur[i] = false
+		}
+	}
+	return prev[n]
+}

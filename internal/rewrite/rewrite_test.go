@@ -1,0 +1,263 @@
+package rewrite_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/rewrite"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/vfilter"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xmltree"
+	"xpathviews/internal/xpath"
+)
+
+// TestExample51 replays §V's rewriting walk-through: answering
+// Q_e = //s[f//i][t]/p from V1 = //s[t]/p and V2 = //s[p]/f on the book
+// tree yields exactly {p3, p4, p5, p6, p7} — with p1, p2 filtered by the
+// join (no common s parent with an f fragment) and p8 filtered too.
+func TestExample51(t *testing.T) {
+	tree := paperdata.BookTree()
+	enc, err := dewey.Encode(tree, paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := views.NewRegistry(tree, enc)
+	v1, err := reg.Add(xpath.MustParse(paperdata.ViewV1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.Add(xpath.MustParse(paperdata.ViewV2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's fragment sets: eight p's for V1, {f1,f2,f3} for V2.
+	if len(v1.Fragments) != 8 {
+		t.Fatalf("V1 has %d fragments, want 8", len(v1.Fragments))
+	}
+	if len(v2.Fragments) != 3 {
+		t.Fatalf("V2 has %d fragments, want 3", len(v2.Fragments))
+	}
+
+	q := xpath.MustParse(paperdata.QueryE)
+	sel, err := selection.Minimum(q, reg.ViewList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rewrite.Execute(q, sel, enc.FST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"0.8.6.1":  true, // p3
+		"0.5.1":    true, // p4
+		"0.5.5":    true, // p5
+		"0.5.10.1": true, // p6
+		"0.5.10.5": true, // p7
+	}
+	if len(res.Answers) != len(want) {
+		t.Fatalf("answers = %v, want 5 of %v", res.Codes(), want)
+	}
+	for _, a := range res.Answers {
+		if !want[a.Code.String()] {
+			t.Fatalf("unexpected answer %s (all: %v)", a.Code, res.Codes())
+		}
+	}
+	// Ground truth must agree.
+	direct := engine.Answers(tree, q)
+	if len(direct) != len(res.Answers) {
+		t.Fatalf("direct evaluation found %d answers, rewrite %d", len(direct), len(res.Answers))
+	}
+}
+
+// TestNaiveJoinAgrees: the ablation baseline must produce identical
+// results on the running example.
+func TestNaiveJoinAgrees(t *testing.T) {
+	tree := paperdata.BookTree()
+	enc, _ := dewey.Encode(tree, paperdata.BookFST())
+	reg := views.NewRegistry(tree, enc)
+	reg.Add(xpath.MustParse(paperdata.ViewV1), 0)
+	reg.Add(xpath.MustParse(paperdata.ViewV2), 0)
+	q := xpath.MustParse(paperdata.QueryE)
+	sel, err := selection.Minimum(q, reg.ViewList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rewrite.Execute(q, sel, enc.FST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rewrite.ExecuteNaive(q, sel, enc.FST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCodes(a, b) {
+		t.Fatalf("holistic %v vs naive %v", a.Codes(), b.Codes())
+	}
+}
+
+func sameCodes(a, b *rewrite.Result) bool {
+	ca, cb := a.Codes(), b.Codes()
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if dewey.Compare(ca[i], cb[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSingleViewRewrite: a view equal to the query answers it exactly.
+func TestSingleViewRewrite(t *testing.T) {
+	tree := paperdata.BookTree()
+	enc, _ := dewey.Encode(tree, paperdata.BookFST())
+	reg := views.NewRegistry(tree, enc)
+	reg.Add(xpath.MustParse("//s[t]//p"), 0)
+	q := xpath.MustParse("//s[t]//p")
+	sel, err := selection.Minimum(q, reg.ViewList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Covers) != 1 || !sel.Covers[0].Strong {
+		t.Fatalf("expected a single strong cover, got %+v", sel.Covers)
+	}
+	res, err := rewrite.Execute(q, sel, enc.FST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := engine.Answers(tree, q)
+	if len(res.Answers) != len(direct) {
+		t.Fatalf("rewrite %d answers, direct %d", len(res.Answers), len(direct))
+	}
+}
+
+// TestEquivalence is the headline property: whenever a selection strategy
+// declares a random query answerable by random materialized views, the
+// rewritten result equals direct evaluation — on randomized documents.
+func TestEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	labels := []string{"a", "b", "c", "d", "e"}
+	answerable, trials := 0, 0
+	for doc := 0; doc < 12; doc++ {
+		tree := randomTree(r, 60+r.Intn(120), labels)
+		enc, fst, err := dewey.EncodeTree(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := views.NewRegistry(tree, enc)
+		f := vfilter.New()
+		for len(reg.ViewList) < 25 {
+			vp := randomPattern(r, labels, 4)
+			v, err := reg.Add(vp, 0)
+			if err != nil {
+				continue
+			}
+			f.AddView(v.ID, v.Pattern)
+		}
+		for qi := 0; qi < 30; qi++ {
+			q := pattern.Minimize(randomPattern(r, labels, 5))
+			direct := engine.Answers(tree, q)
+			res := f.Filtering(q)
+			trials++
+
+			var cands []*views.View
+			for _, id := range res.Candidates {
+				cands = append(cands, reg.Get(id))
+			}
+			for name, sel := range map[string]*selection.Selection{
+				"minimum":   trySel(func() (*selection.Selection, error) { return selection.Minimum(q, cands) }),
+				"heuristic": trySel(func() (*selection.Selection, error) { return selection.Heuristic(q, res, reg) }),
+			} {
+				if sel == nil {
+					continue
+				}
+				answerable++
+				out, err := rewrite.Execute(q, sel, fst)
+				if err != nil {
+					t.Fatalf("%s rewrite of %s failed: %v", name, q, err)
+				}
+				if !codesMatch(t, enc, direct, out) {
+					t.Fatalf("%s: query %s via %d views: rewrite %v != direct %v",
+						name, q, len(sel.Covers), out.Codes(), codesOf(enc, direct))
+				}
+				// The naive join must agree as well.
+				nv, err := rewrite.ExecuteNaive(q, sel, fst)
+				if err != nil {
+					t.Fatalf("naive rewrite: %v", err)
+				}
+				if !sameCodes(out, nv) {
+					t.Fatalf("naive join disagrees on %s", q)
+				}
+			}
+		}
+	}
+	if answerable < 20 {
+		t.Fatalf("only %d answerable cases in %d trials; test too weak", answerable, trials)
+	}
+}
+
+func trySel(f func() (*selection.Selection, error)) *selection.Selection {
+	s, err := f()
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+func codesOf(enc *dewey.Encoding, nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = enc.MustCode(n).String()
+	}
+	return out
+}
+
+func codesMatch(t *testing.T, enc *dewey.Encoding, direct []*xmltree.Node, res *rewrite.Result) bool {
+	t.Helper()
+	want := map[string]bool{}
+	for _, n := range direct {
+		want[enc.MustCode(n).String()] = true
+	}
+	if len(res.Answers) != len(want) {
+		return false
+	}
+	for _, a := range res.Answers {
+		if !want[a.Code.String()] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomTree(r *rand.Rand, n int, labels []string) *xmltree.Tree {
+	t := xmltree.New(labels[0])
+	nodes := []*xmltree.Node{t.Root()}
+	for len(nodes) < n {
+		parent := nodes[r.Intn(len(nodes))]
+		c := t.AddChild(parent, labels[r.Intn(len(labels))])
+		nodes = append(nodes, c)
+	}
+	t.Renumber()
+	return t
+}
+
+func randomPattern(r *rand.Rand, labels []string, maxNodes int) *pattern.Pattern {
+	root := pattern.NewNode(labels[r.Intn(len(labels))], pattern.Descendant)
+	nodes := []*pattern.Node{root}
+	n := 1 + r.Intn(maxNodes)
+	for len(nodes) < n {
+		parent := nodes[r.Intn(len(nodes))]
+		lb := labels[r.Intn(len(labels))]
+		if r.Intn(7) == 0 {
+			lb = pattern.Wildcard
+		}
+		nodes = append(nodes, parent.AddChild(lb, pattern.Axis(r.Intn(2))))
+	}
+	return &pattern.Pattern{Root: root, Ret: nodes[r.Intn(len(nodes))]}
+}

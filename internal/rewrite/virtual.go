@@ -1,0 +1,195 @@
+package rewrite
+
+import (
+	"sort"
+	"sync"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
+)
+
+// The virtual tree is the prefix-closed trie of the participating
+// fragment roots' extended Dewey codes. Labels come from FST decoding —
+// never from base data. It is stored as an index-linked arena: one slab
+// of nodes, no per-node allocations, built in a single merge scan of the
+// per-view code streams (which materialization keeps sorted). This is
+// the paper's "holistic join ... requires only one scan of all roots of
+// fragments and runs in linear time" (§V).
+type vtree struct {
+	nodes []vnode
+	// fragEntries is the slab backing each node's fragment list.
+	fragEntries []fragEntry
+}
+
+type vnode struct {
+	code  dewey.Code // shares the owning fragment's backing array
+	label string
+	// arena links; -1 means none.
+	parent, firstChild, nextSib int32
+	// fragHead indexes fragEntries, -1 when no fragment roots here.
+	fragHead int32
+}
+
+type fragEntry struct {
+	view int32
+	frag *views.Fragment
+	next int32
+}
+
+func (t *vtree) depth(v int32) int { return len(t.nodes[v].code) - 1 }
+
+// fragsAt iterates the fragments of view vi rooted at node v.
+func (t *vtree) fragsAt(v int32, vi int, yield func(f *views.Fragment) bool) {
+	for e := t.nodes[v].fragHead; e >= 0; e = t.fragEntries[e].next {
+		fe := &t.fragEntries[e]
+		if int(fe.view) == vi {
+			if !yield(fe.frag) {
+				return
+			}
+		}
+	}
+}
+
+// vtPool recycles arenas across queries: the backing slabs keep their
+// grown capacity, so steady-state joins allocate almost nothing.
+var vtPool = sync.Pool{New: func() any { return &vtree{} }}
+
+func putVtree(t *vtree) {
+	// Drop references so pooled arenas don't pin fragments or codes.
+	for i := range t.nodes {
+		t.nodes[i].code = nil
+		t.nodes[i].label = ""
+	}
+	for i := range t.fragEntries {
+		t.fragEntries[i].frag = nil
+	}
+	t.nodes = t.nodes[:0]
+	t.fragEntries = t.fragEntries[:0]
+	vtPool.Put(t)
+}
+
+// buildVirtual merges the sorted fragment-code streams of all views into
+// the virtual tree in one scan; shared prefixes collapse. It returns the
+// tree and, per view, the arena index each fragment landed on. Callers
+// must release the tree with putVtree once the join is done.
+func buildVirtual(fst *dewey.FST, refined []refinedView) (*vtree, [][]int32) {
+	total := 0
+	for vi := range refined {
+		total += len(refined[vi].frags)
+	}
+	t := vtPool.Get().(*vtree)
+	if cap(t.nodes) == 0 {
+		t.nodes = make([]vnode, 0, total*2+8)
+		t.fragEntries = make([]fragEntry, 0, total)
+	}
+	t.nodes = append(t.nodes, vnode{code: dewey.Code{0}, label: fst.RootLabel(), parent: -1, firstChild: -1, nextSib: -1, fragHead: -1})
+
+	anchors := make([][]int32, len(refined))
+	heads := make([]int, len(refined))
+	for vi := range refined {
+		anchors[vi] = make([]int32, len(refined[vi].frags))
+	}
+
+	// stack holds the rightmost path (arena indices).
+	stack := make([]int32, 1, 16)
+	stack[0] = 0
+	// lastChild per stack position to append siblings in O(1).
+	lastChild := make([]int32, 1, 16)
+	lastChild[0] = -1
+
+	for {
+		// k-way merge: pick the stream with the smallest head code.
+		best := -1
+		for vi := range refined {
+			if heads[vi] >= len(refined[vi].frags) {
+				continue
+			}
+			if best < 0 || dewey.Compare(refined[vi].frags[heads[vi]].Code, refined[best].frags[heads[best]].Code) < 0 {
+				best = vi
+			}
+		}
+		if best < 0 {
+			break
+		}
+		fi := heads[best]
+		heads[best]++
+		frag := refined[best].frags[fi]
+		labels := refined[best].labels[fi]
+		code := frag.Code
+
+		// pop to the longest stack prefix of code
+		for len(stack) > 1 {
+			top := stack[len(stack)-1]
+			if dewey.IsPrefix(t.nodes[top].code, code) {
+				break
+			}
+			stack = stack[:len(stack)-1]
+			lastChild = lastChild[:len(lastChild)-1]
+		}
+		top := stack[len(stack)-1]
+		for d := len(t.nodes[top].code); d < len(code); d++ {
+			idx := int32(len(t.nodes))
+			t.nodes = append(t.nodes, vnode{
+				code: code[:d+1], label: labels[d],
+				parent: top, firstChild: -1, nextSib: -1, fragHead: -1,
+			})
+			if lastChild[len(lastChild)-1] < 0 {
+				t.nodes[top].firstChild = idx
+			} else {
+				t.nodes[lastChild[len(lastChild)-1]].nextSib = idx
+			}
+			lastChild[len(lastChild)-1] = idx
+			stack = append(stack, idx)
+			lastChild = append(lastChild, -1)
+			top = idx
+		}
+		e := int32(len(t.fragEntries))
+		t.fragEntries = append(t.fragEntries, fragEntry{view: int32(best), frag: frag, next: t.nodes[top].fragHead})
+		t.nodes[top].fragHead = e
+		anchors[best][fi] = top
+	}
+	return t, anchors
+}
+
+// extract runs the answer-extraction compensating query on the Δ-view's
+// joined fragments (§V's final step) and appends results.
+func extract(q *pattern.Pattern, dc *selection.Cover, frags []*views.Fragment, res *Result) {
+	comp := compensating(q, dc.X)
+	if dc.X == q.Ret && len(comp.Root.Children) == 0 && len(comp.Root.Attrs) == 0 {
+		// The view's answers are the query's answers: no compensating
+		// work inside fragments. Fragment roots are distinct by
+		// construction, so no dedup pass is needed either.
+		for _, f := range frags {
+			res.Answers = append(res.Answers, Answer{Code: f.Code, Node: f.Tree.Root()})
+		}
+		sortAnswers(res)
+		return
+	}
+	seen := make(map[string]bool)
+	for _, f := range frags {
+		answers := engine.AnswersAtRoot(f.Tree, comp)
+		for _, a := range answers {
+			ord := f.Tree.Ord(a)
+			var code dewey.Code
+			if ord < len(f.NodeCodes) {
+				code = f.NodeCodes[ord]
+			}
+			key := code.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			res.Answers = append(res.Answers, Answer{Code: code, Node: a})
+		}
+	}
+	sortAnswers(res)
+}
+
+func sortAnswers(res *Result) {
+	sort.Slice(res.Answers, func(i, j int) bool {
+		return dewey.Compare(res.Answers[i].Code, res.Answers[j].Code) < 0
+	})
+}

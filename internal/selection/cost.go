@@ -1,0 +1,124 @@
+package selection
+
+import (
+	"sort"
+
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/vfilter"
+	"xpathviews/internal/views"
+)
+
+// This file implements the cost model §IV-B mentions but omits "due to
+// space limitation": selection that trades off the two factors the paper
+// identifies — the number of views (join width) and the size of their
+// materialized fragments (scan volume). The exact-minimum method
+// optimizes only the first, the heuristic's length-descending lists only
+// approximate the second; CostBased optimizes their weighted sum with
+// the classical greedy weighted set-cover rule (pick the cover with the
+// lowest cost per newly covered element), then prunes redundancy.
+
+// CostParams weights the two factors. Cost(V) = ViewWeight +
+// ByteWeight · TotalBytes(V).
+type CostParams struct {
+	ViewWeight float64
+	ByteWeight float64
+}
+
+// DefaultCostParams makes one view "cost" about as much as 64 KB of
+// fragments, so small extra views are preferred over large single ones
+// but gratuitous joins still count.
+func DefaultCostParams() CostParams {
+	return CostParams{ViewWeight: 1, ByteWeight: 1.0 / (64 << 10)}
+}
+
+func (p CostParams) cost(v *views.View) float64 {
+	return p.ViewWeight + p.ByteWeight*float64(v.TotalBytes)
+}
+
+// CostBased selects an answering view set greedily by cost per newly
+// covered LF element, over VFILTER's candidates, computing homomorphisms
+// lazily like Algorithm 2. It returns ErrNotAnswerable when no answering
+// subset exists among the candidates.
+func CostBased(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry, params CostParams) (*Selection, error) {
+	sel := &Selection{}
+
+	// Candidate order: cheap views first so that lazily computed covers
+	// are more likely to pay off early.
+	seen := make(map[int]bool)
+	var candIDs []int
+	for _, list := range res.Lists {
+		for _, le := range list {
+			if !seen[le.View] {
+				seen[le.View] = true
+				candIDs = append(candIDs, le.View)
+			}
+		}
+	}
+	sort.Slice(candIDs, func(i, j int) bool {
+		a, b := reg.Get(candIDs[i]), reg.Get(candIDs[j])
+		return params.cost(a) < params.cost(b)
+	})
+
+	covers := make(map[int]*Cover, len(candIDs))
+	coverOf := func(id int) *Cover {
+		c, ok := covers[id]
+		if !ok {
+			sel.HomsComputed++
+			c = ComputeCover(reg.Get(id), q)
+			covers[id] = c
+		}
+		return c
+	}
+
+	need := make(map[*pattern.Node]bool)
+	for _, l := range q.Leaves() {
+		need[l] = true
+	}
+	delta := false
+	var chosen []*Cover
+
+	gain := func(c *Cover) int {
+		if c == nil {
+			return 0
+		}
+		g := 0
+		for n := range c.Leaves {
+			if need[n] {
+				g++
+			}
+		}
+		if !delta && c.Delta {
+			g++
+		}
+		return g
+	}
+
+	for len(need) > 0 || !delta {
+		best := -1
+		bestScore := 0.0
+		var bestCover *Cover
+		for _, id := range candIDs {
+			c := coverOf(id)
+			g := gain(c)
+			if g == 0 {
+				continue
+			}
+			score := params.cost(reg.Get(id)) / float64(g)
+			if best < 0 || score < bestScore {
+				best, bestScore, bestCover = id, score, c
+			}
+		}
+		if best < 0 {
+			return nil, ErrNotAnswerable
+		}
+		chosen = append(chosen, bestCover)
+		for n := range bestCover.Leaves {
+			delete(need, n)
+		}
+		if bestCover.Delta {
+			delta = true
+		}
+	}
+	sel.Covers = removeRedundant(q, chosen)
+	return sel, nil
+}

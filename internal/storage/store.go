@@ -1,0 +1,329 @@
+// Package storage is a small embedded key-value store standing in for the
+// Berkeley DB / Berkeley DB XML pair the paper's experiments used as byte
+// containers for the VFilter automaton and the materialized XML fragments
+// (§VI). It is an append-only log with an in-memory index:
+//
+//   - Put/Get/Delete over []byte keys and values;
+//   - crash-safe reads: every record carries a length header and a
+//     checksum, and Open truncates a torn tail instead of failing;
+//   - Compact rewrites the log dropping stale versions;
+//   - Size reports stored bytes — the measurement behind Figure 11.
+//
+// The store is safe for concurrent use.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// magic begins every log file.
+var magic = [4]byte{'x', 'p', 'v', '1'}
+
+const (
+	opPut    = byte(1)
+	opDelete = byte(2)
+)
+
+// Store is an open key-value store.
+type Store struct {
+	mu   sync.RWMutex
+	path string
+	f    *os.File
+	// index maps key → (offset, length) of the live value in the log;
+	// values are also cached in memory (the working sets here are small:
+	// automata and capped fragments).
+	mem  map[string][]byte
+	size int64
+}
+
+// Open opens or creates the store at path. A corrupt or torn tail is
+// truncated; fully corrupt files yield an error.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	s := &Store{path: path, f: f, mem: make(map[string][]byte)}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenMemory creates a purely in-memory store (no file); Close and
+// Compact are no-ops. Used by tests and benchmarks that only need Size
+// accounting.
+func OpenMemory() *Store {
+	return &Store{mem: make(map[string][]byte)}
+}
+
+func (s *Store) replay() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("storage: stat: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := s.f.Write(magic[:]); err != nil {
+			return fmt.Errorf("storage: write magic: %w", err)
+		}
+		s.size = int64(len(magic))
+		return nil
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(s.f, hdr[:]); err != nil || hdr != magic {
+		return fmt.Errorf("storage: %s is not a store file", s.path)
+	}
+	off := int64(len(magic))
+	buf := make([]byte, 0, 4096)
+	for {
+		rec, n, err := readRecord(s.f, &buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// torn or corrupt tail: truncate and continue from here
+			if terr := s.f.Truncate(off); terr != nil {
+				return fmt.Errorf("storage: truncate torn tail: %w", terr)
+			}
+			break
+		}
+		off += int64(n)
+		switch rec.op {
+		case opPut:
+			s.mem[string(rec.key)] = append([]byte(nil), rec.val...)
+		case opDelete:
+			delete(s.mem, string(rec.key))
+		}
+	}
+	s.size = off
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("storage: seek: %w", err)
+	}
+	return nil
+}
+
+type record struct {
+	op  byte
+	key []byte
+	val []byte
+}
+
+// record layout: op(1) keyLen(4) valLen(4) key val crc32(4 over all prior
+// bytes of the record).
+func readRecord(r io.Reader, scratch *[]byte) (record, int, error) {
+	var fixed [9]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return record{}, 0, fmt.Errorf("storage: torn header")
+		}
+		return record{}, 0, err
+	}
+	op := fixed[0]
+	kl := binary.LittleEndian.Uint32(fixed[1:5])
+	vl := binary.LittleEndian.Uint32(fixed[5:9])
+	if kl > 1<<28 || vl > 1<<30 {
+		return record{}, 0, fmt.Errorf("storage: implausible record size")
+	}
+	need := int(kl) + int(vl) + 4
+	if cap(*scratch) < need {
+		*scratch = make([]byte, need)
+	}
+	body := (*scratch)[:need]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return record{}, 0, fmt.Errorf("storage: torn body: %w", err)
+	}
+	sum := crc32.NewIEEE()
+	sum.Write(fixed[:])
+	sum.Write(body[:kl+vl])
+	if binary.LittleEndian.Uint32(body[kl+vl:]) != sum.Sum32() {
+		return record{}, 0, fmt.Errorf("storage: checksum mismatch")
+	}
+	return record{op: op, key: body[:kl], val: body[kl : kl+vl]}, 9 + need, nil
+}
+
+func writeRecord(w io.Writer, op byte, key, val []byte) (int, error) {
+	var fixed [9]byte
+	fixed[0] = op
+	binary.LittleEndian.PutUint32(fixed[1:5], uint32(len(key)))
+	binary.LittleEndian.PutUint32(fixed[5:9], uint32(len(val)))
+	sum := crc32.NewIEEE()
+	sum.Write(fixed[:])
+	sum.Write(key)
+	sum.Write(val)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum.Sum32())
+	n := 0
+	for _, b := range [][]byte{fixed[:], key, val, crc[:]} {
+		m, err := w.Write(b)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Put stores value under key, overwriting any previous version.
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		n, err := writeRecord(s.f, opPut, key, value)
+		s.size += int64(n)
+		if err != nil {
+			return fmt.Errorf("storage: put: %w", err)
+		}
+	} else {
+		s.size += int64(9 + len(key) + len(value) + 4)
+	}
+	s.mem[string(key)] = append([]byte(nil), value...)
+	return nil
+}
+
+// Get returns the value stored under key; ok reports presence. The
+// returned slice must not be modified.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.mem[string(key)]
+	return v, ok
+}
+
+// Delete removes key; deleting a missing key is a no-op.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mem[string(key)]; !ok {
+		return nil
+	}
+	if s.f != nil {
+		n, err := writeRecord(s.f, opDelete, key, nil)
+		s.size += int64(n)
+		if err != nil {
+			return fmt.Errorf("storage: delete: %w", err)
+		}
+	}
+	delete(s.mem, string(key))
+	return nil
+}
+
+// Keys returns all live keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.mem)
+}
+
+// Size returns the store's on-disk (or accounted, for memory stores)
+// byte size including headers — the Figure 11 measurement.
+func (s *Store) Size() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// LiveBytes returns the total size of live keys and values, excluding
+// log overhead and stale versions.
+func (s *Store) LiveBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for k, v := range s.mem {
+		n += int64(len(k) + len(v))
+	}
+	return n
+}
+
+// Compact rewrites the log keeping only live records.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	tmp := s.path + ".compact"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	size := int64(0)
+	if _, err := out.Write(magic[:]); err != nil {
+		out.Close()
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	size += int64(len(magic))
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		n, err := writeRecord(out, opPut, []byte(k), s.mem[k])
+		if err != nil {
+			out.Close()
+			return fmt.Errorf("storage: compact: %w", err)
+		}
+		size += int64(n)
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact reopen: %w", err)
+	}
+	s.f = f
+	s.size = size
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close releases the underlying file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

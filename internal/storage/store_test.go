@@ -1,0 +1,218 @@
+package storage_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"xpathviews/internal/storage"
+)
+
+func openTemp(t *testing.T) (*storage.Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.db")
+	s, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+
+	if _, ok := s.Get([]byte("k")); ok {
+		t.Fatal("empty store returned a value")
+	}
+	if err := s.Put([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get([]byte("k"))
+	if !ok || string(v) != "v2" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if err := s.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get([]byte("k")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := s.Delete([]byte("missing")); err != nil {
+		t.Fatal("deleting a missing key must be a no-op")
+	}
+}
+
+func TestReopenRecovers(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 50; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key%02d", i)), bytes.Repeat([]byte{byte(i)}, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete([]byte("key07"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 49 {
+		t.Fatalf("recovered %d keys, want 49", s2.Len())
+	}
+	v, ok := s2.Get([]byte("key10"))
+	if !ok || len(v) != 10 || v[0] != 10 {
+		t.Fatalf("recovered value wrong: %v %v", v, ok)
+	}
+	if _, ok := s2.Get([]byte("key07")); ok {
+		t.Fatal("deleted key resurrected")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put([]byte("alpha"), []byte("1"))
+	s.Put([]byte("beta"), []byte("2"))
+	s.Close()
+
+	// Simulate a crash mid-append: chop bytes off the tail.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := storage.Open(path)
+	if err != nil {
+		t.Fatalf("torn tail must not fail Open: %v", err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get([]byte("alpha")); !ok {
+		t.Fatal("intact record lost")
+	}
+	if _, ok := s2.Get([]byte("beta")); ok {
+		t.Fatal("torn record must be dropped")
+	}
+	// The store must be writable again after truncation.
+	if err := s2.Put([]byte("gamma"), []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptChecksumStopsReplay(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put([]byte("alpha"), []byte("11111111"))
+	s.Put([]byte("beta"), []byte("22222222"))
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's value.
+	data[len(data)-6] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get([]byte("alpha")); !ok {
+		t.Fatal("record before corruption lost")
+	}
+	if _, ok := s2.Get([]byte("beta")); ok {
+		t.Fatal("corrupt record must not replay")
+	}
+}
+
+func TestNotAStoreFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus.db")
+	if err := os.WriteFile(path, []byte("whatever"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storage.Open(path); err == nil {
+		t.Fatal("Open accepted a non-store file")
+	}
+}
+
+func TestCompactShrinksAndPreserves(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		s.Put([]byte("same"), bytes.Repeat([]byte("x"), 100))
+	}
+	s.Put([]byte("other"), []byte("y"))
+	before := s.Size()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() >= before {
+		t.Fatalf("compact did not shrink: %d -> %d", before, s.Size())
+	}
+	v, ok := s.Get([]byte("same"))
+	if !ok || len(v) != 100 {
+		t.Fatal("compact lost data")
+	}
+	if _, ok := s.Get([]byte("other")); !ok {
+		t.Fatal("compact lost a key")
+	}
+	// Still writable.
+	if err := s.Put([]byte("after"), []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysSortedAndLiveBytes(t *testing.T) {
+	s := storage.OpenMemory()
+	s.Put([]byte("b"), []byte("2"))
+	s.Put([]byte("a"), []byte("1"))
+	s.Put([]byte("c"), []byte("3"))
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if s.LiveBytes() != 6 {
+		t.Fatalf("LiveBytes = %d", s.LiveBytes())
+	}
+	if s.Size() <= 0 {
+		t.Fatal("memory store must account size")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal("memory compact must be a no-op")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := storage.OpenMemory()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := []byte(fmt.Sprintf("g%d-%d", g, i%10))
+				s.Put(key, []byte{byte(i)})
+				s.Get(key)
+				if i%3 == 0 {
+					s.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,338 @@
+// Package tjfast implements a holistic twig-join evaluator over extended
+// Dewey leaf streams, in the spirit of TJFast (Lu et al., VLDB 2005 — the
+// paper's [22] and the algorithm §V's fragment join is modelled on).
+//
+// The evaluator answers a twig pattern using only, per query leaf, the
+// sorted stream of extended Dewey codes of elements with the leaf's
+// label. Each code's full root label-path is recovered through the FST,
+// so internal query nodes never need their own streams — the property
+// that makes extended Dewey attractive and that the paper's rewriting
+// inherits.
+//
+// Pipeline: (1) filter each leaf stream by the query's root-to-leaf path
+// pattern (a DP over the decoded label-path); (2) merge all surviving
+// codes into a prefix trie in one scan; (3) run the twig-matching DP on
+// the trie, where query leaves may only land on their own stream's
+// entries. Sound and complete for the attribute-free fragment
+// {/, //, *, []}: any real embedding's leaf witnesses survive (1), and
+// the ancestor closure in (2) contains every internal witness.
+//
+// Attribute predicates are not supported — codes cannot carry attribute
+// values (the same §V limitation the paper notes) — and are rejected.
+package tjfast
+
+import (
+	"fmt"
+	"sort"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/xmltree"
+)
+
+// Streams holds, per label, the document-ordered extended Dewey codes of
+// all elements with that label — the only document access TJFast needs.
+type Streams struct {
+	byLabel map[string][]dewey.Code
+	all     []dewey.Code // merged stream for wildcard leaves, built lazily
+}
+
+// BuildStreams extracts the label streams from an encoded document.
+func BuildStreams(t *xmltree.Tree, enc *dewey.Encoding) *Streams {
+	s := &Streams{byLabel: make(map[string][]dewey.Code)}
+	t.Walk(func(n *xmltree.Node) bool {
+		c, ok := enc.CodeOf(n)
+		if ok {
+			s.byLabel[n.Label] = append(s.byLabel[n.Label], c)
+		}
+		return true
+	})
+	return s
+}
+
+// Labels returns the indexed labels, sorted.
+func (s *Streams) Labels() []string {
+	out := make([]string, 0, len(s.byLabel))
+	for l := range s.byLabel {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stream returns the code stream of one label (shared; do not modify).
+func (s *Streams) Stream(label string) []dewey.Code { return s.byLabel[label] }
+
+// merged returns the stream of every element, built on first use.
+func (s *Streams) merged() []dewey.Code {
+	if s.all != nil {
+		return s.all
+	}
+	total := 0
+	for _, cs := range s.byLabel {
+		total += len(cs)
+	}
+	all := make([]dewey.Code, 0, total)
+	for _, cs := range s.byLabel {
+		all = append(all, cs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return dewey.Compare(all[i], all[j]) < 0 })
+	s.all = all
+	return all
+}
+
+// Eval answers the twig pattern and returns the answer codes in document
+// order. It fails on patterns with attribute predicates.
+func Eval(q *pattern.Pattern, s *Streams, fst *dewey.FST) ([]dewey.Code, error) {
+	hasAttrs := false
+	q.Walk(func(n *pattern.Node) bool {
+		if len(n.Attrs) > 0 {
+			hasAttrs = true
+			return false
+		}
+		return true
+	})
+	if hasAttrs {
+		return nil, fmt.Errorf("tjfast: attribute predicates are not supported on code streams")
+	}
+
+	leaves := q.Leaves()
+	// Stage 1: per-leaf stream filtering by root-to-leaf path pattern.
+	type survivor struct {
+		code   dewey.Code
+		labels []string
+		leaf   int // index into leaves
+	}
+	var survivors []survivor
+	var slab []string
+	for li, leaf := range leaves {
+		rootPath := rootToLeafPath(leaf)
+		var stream []dewey.Code
+		if leaf.Label == pattern.Wildcard {
+			stream = s.merged()
+		} else {
+			stream = s.byLabel[leaf.Label]
+		}
+		for _, c := range stream {
+			start := len(slab)
+			var err error
+			slab, err = fst.DecodeAppend(c, slab)
+			if err != nil {
+				return nil, err
+			}
+			labels := slab[start:len(slab):len(slab)]
+			if !pathMatches(labels, rootPath) {
+				slab = slab[:start]
+				continue
+			}
+			survivors = append(survivors, survivor{code: c, labels: labels, leaf: li})
+		}
+	}
+	if len(survivors) == 0 {
+		return nil, nil
+	}
+
+	// Stage 2: one merge scan into a prefix trie.
+	sort.Slice(survivors, func(i, j int) bool {
+		return dewey.Compare(survivors[i].code, survivors[j].code) < 0
+	})
+	type tnode struct {
+		code                        dewey.Code
+		label                       string
+		parent, firstChild, nextSib int32
+		// leafTags is a bitset over query leaves whose stream this node
+		// belongs to (query twigs are small).
+		leafTags uint64
+	}
+	if len(leaves) > 64 {
+		return nil, fmt.Errorf("tjfast: more than 64 query leaves")
+	}
+	nodes := []tnode{{code: dewey.Code{0}, label: fst.RootLabel(), parent: -1, firstChild: -1, nextSib: -1}}
+	stack := []int32{0}
+	last := []int32{-1}
+	for _, sv := range survivors {
+		for len(stack) > 1 {
+			top := stack[len(stack)-1]
+			if dewey.IsPrefix(nodes[top].code, sv.code) {
+				break
+			}
+			stack = stack[:len(stack)-1]
+			last = last[:len(last)-1]
+		}
+		top := stack[len(stack)-1]
+		for d := len(nodes[top].code); d < len(sv.code); d++ {
+			idx := int32(len(nodes))
+			nodes = append(nodes, tnode{
+				code: sv.code[:d+1], label: sv.labels[d],
+				parent: top, firstChild: -1, nextSib: -1,
+			})
+			if last[len(last)-1] < 0 {
+				nodes[top].firstChild = idx
+			} else {
+				nodes[last[len(last)-1]].nextSib = idx
+			}
+			last[len(last)-1] = idx
+			stack = append(stack, idx)
+			last = append(last, -1)
+			top = idx
+		}
+		nodes[top].leafTags |= 1 << uint(sv.leaf)
+	}
+
+	// Stage 3: twig matching DP on the trie. feas[qi][v] = subtree of
+	// query node qi embeds with image v; then a reachability pass pins
+	// the answer set.
+	qNodes := q.Nodes()
+	qIdx := make(map[*pattern.Node]int, len(qNodes))
+	for i, n := range qNodes {
+		qIdx[n] = i
+	}
+	leafBit := make(map[*pattern.Node]int, len(leaves))
+	for li, l := range leaves {
+		leafBit[l] = li
+	}
+	n := len(nodes)
+	feas := make([][]bool, len(qNodes))
+	below := make([][]bool, len(qNodes))
+	for i := range feas {
+		feas[i] = make([]bool, n)
+		below[i] = make([]bool, n)
+	}
+	for i := len(qNodes) - 1; i >= 0; i-- {
+		qn := qNodes[i]
+		for v := n - 1; v >= 0; v-- {
+			ok := qn.Label == pattern.Wildcard || qn.Label == nodes[v].label
+			if ok && qn.IsLeaf() {
+				ok = nodes[v].leafTags&(1<<uint(leafBit[qn])) != 0
+			}
+			if ok {
+				for _, qc := range qn.Children {
+					ci := qIdx[qc]
+					found := false
+					if qc.Axis == pattern.Child {
+						for ch := nodes[v].firstChild; ch >= 0; ch = nodes[ch].nextSib {
+							if feas[ci][ch] {
+								found = true
+								break
+							}
+						}
+					} else {
+						found = below[ci][v]
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+			}
+			feas[i][v] = ok
+			// below row of i at v's parent accumulates later; compute
+			// below for THIS i over the trie after the v loop.
+		}
+		// below[i][v] = feas[i] holds at some proper descendant of v.
+		for v := n - 1; v >= 1; v-- {
+			p := nodes[v].parent
+			if feas[i][v] || below[i][v] {
+				below[i][p] = true
+			}
+		}
+	}
+
+	// Reachability: reach[qi] over trie nodes.
+	reach := make([][]bool, len(qNodes))
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	if q.Root.Axis == pattern.Child {
+		if feas[0][0] {
+			reach[0][0] = true
+		}
+	} else {
+		copy(reach[0], feas[0])
+	}
+	for i := 1; i < len(qNodes); i++ {
+		qn := qNodes[i]
+		pi := qIdx[qn.Parent]
+		if qn.Axis == pattern.Child {
+			for v := 0; v < n; v++ {
+				if feas[i][v] && nodes[v].parent >= 0 && reach[pi][nodes[v].parent] {
+					reach[i][v] = true
+				}
+			}
+		} else {
+			// under[v]: some proper ancestor of v is reach[pi].
+			under := make([]bool, n)
+			for v := 1; v < n; v++ {
+				p := nodes[v].parent
+				under[v] = under[p] || reach[pi][p]
+				if under[v] && feas[i][v] {
+					reach[i][v] = true
+				}
+			}
+		}
+	}
+	retRow := reach[qIdx[q.Ret]]
+	var out []dewey.Code
+	for v := 0; v < n; v++ {
+		if retRow[v] {
+			out = append(out, nodes[v].code)
+		}
+	}
+	return out, nil
+}
+
+// rootToLeafPath is the path pattern from the query root down to leaf.
+func rootToLeafPath(leaf *pattern.Node) pattern.Path {
+	var rev []pattern.Step
+	for n := leaf; n != nil; n = n.Parent {
+		rev = append(rev, pattern.Step{Axis: n.Axis, Label: n.Label})
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return pattern.Path{Steps: rev}
+}
+
+// pathMatches reports whether a concrete root label-path satisfies the
+// path pattern ending exactly at its last label.
+func pathMatches(labels []string, p pattern.Path) bool {
+	steps := p.Steps
+	n, m := len(labels), len(steps)
+	if m == 0 || n == 0 {
+		return m == 0 && n == 0
+	}
+	var prevBuf, curBuf [64]bool
+	var prev, cur []bool
+	if n < 64 {
+		prev, cur = prevBuf[:n+1], curBuf[:n+1]
+	} else {
+		prev, cur = make([]bool, n+1), make([]bool, n+1)
+	}
+	for j := 1; j <= m; j++ {
+		s := steps[j-1]
+		anyBefore := false
+		for i := 1; i <= n; i++ {
+			if j > 1 && prev[i-1] {
+				anyBefore = true
+			}
+			ok := s.Label == pattern.Wildcard || s.Label == labels[i-1]
+			if ok {
+				if s.Axis == pattern.Child {
+					if j == 1 {
+						ok = i == 1
+					} else {
+						ok = prev[i-1]
+					}
+				} else if j > 1 {
+					ok = anyBefore
+				}
+			}
+			cur[i] = ok
+		}
+		prev, cur = cur, prev
+		for i := range cur {
+			cur[i] = false
+		}
+	}
+	return prev[n]
+}

@@ -1,0 +1,135 @@
+package tjfast_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/tjfast"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xmltree"
+	"xpathviews/internal/xpath"
+)
+
+func TestBookQueries(t *testing.T) {
+	tree := paperdata.BookTree()
+	enc, err := dewey.Encode(tree, paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := tjfast.BuildStreams(tree, enc)
+	for _, tc := range []struct {
+		q    string
+		want int
+	}{
+		{"//s[f//i][t]/p", 5},
+		{"//s[t]/p", 8},
+		{"//s[p]/f", 3},
+		{"//s//s/t", 3},
+		{"/b/s", 2},
+		{"//*/f", 3},
+		{"//s[x]", 0},
+	} {
+		got, err := tjfast.Eval(xpath.MustParse(tc.q), streams, enc.FST())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.q, err)
+		}
+		if len(got) != tc.want {
+			t.Errorf("Eval(%s) = %d codes, want %d", tc.q, len(got), tc.want)
+		}
+	}
+}
+
+func TestRejectsAttributes(t *testing.T) {
+	tree := paperdata.BookTree()
+	enc, _ := dewey.Encode(tree, paperdata.BookFST())
+	streams := tjfast.BuildStreams(tree, enc)
+	if _, err := tjfast.Eval(xpath.MustParse("//s[@x]/p"), streams, enc.FST()); err == nil {
+		t.Fatal("attribute predicates must be rejected")
+	}
+}
+
+// TestAgreesWithEngine is the differential property: TJFast over code
+// streams must equal the in-memory reference evaluator.
+func TestAgreesWithEngine(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	labels := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 20; trial++ {
+		tree := randomTree(r, 120, labels)
+		enc, fst, err := dewey.EncodeTree(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams := tjfast.BuildStreams(tree, enc)
+		for qi := 0; qi < 30; qi++ {
+			q := randomPattern(r, labels, 6)
+			want := engine.Answers(tree, q)
+			got, err := tjfast.Eval(q, streams, fst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("query %s: tjfast %d vs engine %d", q, len(got), len(want))
+			}
+			wantSet := map[string]bool{}
+			for _, n := range want {
+				wantSet[enc.MustCode(n).String()] = true
+			}
+			for _, c := range got {
+				if !wantSet[c.String()] {
+					t.Fatalf("query %s: wrong code %s", q, c)
+				}
+			}
+		}
+	}
+}
+
+func TestOnXMark(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.05, Seed: 5})
+	enc, fst, err := dewey.EncodeTree(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := tjfast.BuildStreams(doc, enc)
+	q := xpath.MustParse("//open_auction[interval/start]/bidder/increase")
+	got, err := tjfast.Eval(q, streams, fst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := engine.Answers(doc, q)
+	if len(got) != len(want) {
+		t.Fatalf("tjfast %d vs engine %d", len(got), len(want))
+	}
+	if len(streams.Labels()) == 0 || streams.Stream("bidder") == nil {
+		t.Fatal("streams accessors broken")
+	}
+}
+
+func randomTree(r *rand.Rand, n int, labels []string) *xmltree.Tree {
+	t := xmltree.New(labels[0])
+	nodes := []*xmltree.Node{t.Root()}
+	for len(nodes) < n {
+		parent := nodes[r.Intn(len(nodes))]
+		nodes = append(nodes, t.AddChild(parent, labels[r.Intn(len(labels))]))
+	}
+	t.Renumber()
+	return t
+}
+
+func randomPattern(r *rand.Rand, labels []string, maxNodes int) *pattern.Pattern {
+	root := pattern.NewNode(labels[r.Intn(len(labels))], pattern.Axis(r.Intn(2)))
+	nodes := []*pattern.Node{root}
+	n := 1 + r.Intn(maxNodes)
+	for len(nodes) < n {
+		parent := nodes[r.Intn(len(nodes))]
+		lb := labels[r.Intn(len(labels))]
+		if r.Intn(6) == 0 {
+			lb = pattern.Wildcard
+		}
+		nodes = append(nodes, parent.AddChild(lb, pattern.Axis(r.Intn(2))))
+	}
+	return &pattern.Pattern{Root: root, Ret: nodes[r.Intn(len(nodes))]}
+}

@@ -1,0 +1,130 @@
+package vfilter_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/vfilter"
+	"xpathviews/internal/xpath"
+)
+
+// TestAttrPruningBasics: views demanding attributes the query lacks are
+// pruned; views demanding a subset survive.
+func TestAttrPruningBasics(t *testing.T) {
+	f := vfilter.New()
+	f.EnableAttributePruning()
+	f.AddView(1, xpath.MustParse("//item[@id]/name"))
+	f.AddView(2, xpath.MustParse("//item/name"))
+	f.AddView(3, xpath.MustParse("//item[@id][@featured]/name"))
+
+	res := f.Filtering(xpath.MustParse("//item[@id]/name"))
+	got := map[int]bool{}
+	for _, id := range res.Candidates {
+		got[id] = true
+	}
+	// View 3 demands @featured, which the query cannot supply.
+	if !got[1] || !got[2] || got[3] {
+		t.Fatalf("candidates = %v, want {1,2}", res.Candidates)
+	}
+
+	// Without attribute pruning all three survive (structural only).
+	plain := vfilter.New()
+	plain.AddView(1, xpath.MustParse("//item[@id]/name"))
+	plain.AddView(2, xpath.MustParse("//item/name"))
+	plain.AddView(3, xpath.MustParse("//item[@id][@featured]/name"))
+	res2 := plain.Filtering(xpath.MustParse("//item[@id]/name"))
+	if len(res2.Candidates) != 3 {
+		t.Fatalf("structural filter candidates = %v, want all 3", res2.Candidates)
+	}
+}
+
+// TestAttrPruningNoFalseNegatives: pruning must never drop a view with a
+// homomorphism to the query.
+func TestAttrPruningNoFalseNegatives(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	labels := []string{"a", "b", "c"}
+	attrs := []string{"x", "y", "z"}
+	for trial := 0; trial < 50; trial++ {
+		f := vfilter.New()
+		f.EnableAttributePruning()
+		var pats []*pattern.Pattern
+		for id := 0; id < 30; id++ {
+			v := randomAttrPattern(r, labels, attrs, 5)
+			pats = append(pats, v)
+			f.AddView(id, v)
+		}
+		for qi := 0; qi < 10; qi++ {
+			q := randomAttrPattern(r, labels, attrs, 6)
+			res := f.Filtering(q)
+			cand := make(map[int]bool, len(res.Candidates))
+			for _, id := range res.Candidates {
+				cand[id] = true
+			}
+			for id, v := range pats {
+				if pattern.Contains(v, q) && !cand[id] {
+					t.Fatalf("attr pruning false negative: %s contains %s", v, q)
+				}
+			}
+		}
+	}
+}
+
+// TestAttrPruningIncreasesPrecision: on an attribute-heavy workload the
+// pruned candidate sets are no larger, and strictly smaller somewhere.
+func TestAttrPruningIncreasesPrecision(t *testing.T) {
+	r := rand.New(rand.NewSource(223))
+	labels := []string{"a", "b"}
+	attrs := []string{"x", "y", "z"}
+	plain := vfilter.New()
+	pruned := vfilter.New()
+	pruned.EnableAttributePruning()
+	for id := 0; id < 60; id++ {
+		v := randomAttrPattern(r, labels, attrs, 4)
+		plain.AddView(id, v)
+		pruned.AddView(id, v)
+	}
+	strictly := false
+	for qi := 0; qi < 40; qi++ {
+		q := randomAttrPattern(r, labels, attrs, 5)
+		a := plain.Filtering(q)
+		b := pruned.Filtering(q)
+		if len(b.Candidates) > len(a.Candidates) {
+			t.Fatalf("pruning increased candidates on %s", q)
+		}
+		if len(b.Candidates) < len(a.Candidates) {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Fatal("pruning never removed a candidate; test workload too weak")
+	}
+}
+
+func TestEnableAfterAddPanics(t *testing.T) {
+	f := vfilter.New()
+	f.AddView(0, xpath.MustParse("//a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableAttributePruning after AddView must panic")
+		}
+	}()
+	f.EnableAttributePruning()
+}
+
+func randomAttrPattern(r *rand.Rand, labels, attrs []string, maxNodes int) *pattern.Pattern {
+	root := pattern.NewNode(labels[r.Intn(len(labels))], pattern.Descendant)
+	nodes := []*pattern.Node{root}
+	n := 1 + r.Intn(maxNodes)
+	for len(nodes) < n {
+		parent := nodes[r.Intn(len(nodes))]
+		c := parent.AddChild(labels[r.Intn(len(labels))], pattern.Axis(r.Intn(2)))
+		nodes = append(nodes, c)
+	}
+	for _, node := range nodes {
+		if r.Intn(3) == 0 {
+			node.Attrs = append(node.Attrs, pattern.AttrPred{Name: attrs[r.Intn(len(attrs))], Op: pattern.AttrExists})
+		}
+	}
+	return &pattern.Pattern{Root: root, Ret: nodes[r.Intn(len(nodes))]}
+}

@@ -1,0 +1,271 @@
+package vfilter
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"xpathviews/internal/storage"
+)
+
+// This file serializes the automaton so it can live in the key-value
+// store, mirroring the paper's use of Berkeley DB to hold VFILTER, and so
+// its stored size can be measured (Figure 11).
+
+const marshalVersion = 2
+
+// MarshalBinary encodes the full automaton: states, arcs, accept entries
+// and per-view path counts.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	var b bytes.Buffer
+	w := func(v any) {
+		switch x := v.(type) {
+		case uint32:
+			var tmp [4]byte
+			binary.LittleEndian.PutUint32(tmp[:], x)
+			b.Write(tmp[:])
+		case string:
+			var tmp [4]byte
+			binary.LittleEndian.PutUint32(tmp[:], uint32(len(x)))
+			b.Write(tmp[:])
+			b.WriteString(x)
+		default:
+			panic("vfilter: marshal: unsupported type")
+		}
+	}
+	w(uint32(marshalVersion))
+	w(uint32(len(f.states)))
+	w(uint32(f.start))
+	for _, st := range f.states {
+		labels := make([]string, 0, len(st.byLabel))
+		for l := range st.byLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		w(uint32(len(labels)))
+		for _, l := range labels {
+			w(l)
+			arcs := st.byLabel[l]
+			w(uint32(len(arcs)))
+			for _, a := range arcs {
+				w(uint32(a))
+			}
+		}
+		w(uint32(len(st.anyNode)))
+		for _, a := range st.anyNode {
+			w(uint32(a))
+		}
+		w(uint32(len(st.anySym)))
+		for _, a := range st.anySym {
+			w(uint32(a))
+		}
+		w(uint32(len(st.accepts)))
+		for _, e := range st.accepts {
+			w(uint32(e.View))
+			w(uint32(e.PathIdx))
+			w(uint32(e.PathLen))
+			w(uint32(len(e.Attrs)))
+			for _, a := range e.Attrs {
+				w(a)
+			}
+		}
+	}
+	w(uint32(len(f.viewIDs)))
+	for _, id := range f.viewIDs {
+		w(uint32(id))
+		w(uint32(f.numPaths[id]))
+	}
+	var gb uint32
+	if f.gapBinding {
+		gb = 1
+	}
+	if f.attrPruning {
+		gb |= 2
+	}
+	w(gb)
+	w(uint32(f.transitions))
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary decodes an automaton produced by MarshalBinary.
+func UnmarshalBinary(data []byte) (*Filter, error) {
+	r := bytes.NewReader(data)
+	rd32 := func() (uint32, error) {
+		var tmp [4]byte
+		if _, err := io.ReadFull(r, tmp[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(tmp[:]), nil
+	}
+	rdStr := func() (string, error) {
+		n, err := rd32()
+		if err != nil {
+			return "", err
+		}
+		if int(n) > r.Len() {
+			return "", fmt.Errorf("vfilter: unmarshal: string length %d exceeds input", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	fail := func(err error) (*Filter, error) {
+		return nil, fmt.Errorf("vfilter: unmarshal: %w", err)
+	}
+	ver, err := rd32()
+	if err != nil {
+		return fail(err)
+	}
+	if ver != marshalVersion {
+		return nil, fmt.Errorf("vfilter: unmarshal: unsupported version %d", ver)
+	}
+	nStates, err := rd32()
+	if err != nil {
+		return fail(err)
+	}
+	start, err := rd32()
+	if err != nil {
+		return fail(err)
+	}
+	f := &Filter{numPaths: make(map[int]int), start: int32(start)}
+	f.states = make([]*state, nStates)
+	for i := range f.states {
+		st := &state{}
+		f.states[i] = st
+		nl, err := rd32()
+		if err != nil {
+			return fail(err)
+		}
+		if nl > 0 {
+			st.byLabel = make(map[string][]int32, nl)
+		}
+		for j := uint32(0); j < nl; j++ {
+			l, err := rdStr()
+			if err != nil {
+				return fail(err)
+			}
+			na, err := rd32()
+			if err != nil {
+				return fail(err)
+			}
+			arcs := make([]int32, na)
+			for k := range arcs {
+				a, err := rd32()
+				if err != nil {
+					return fail(err)
+				}
+				arcs[k] = int32(a)
+			}
+			st.byLabel[l] = arcs
+		}
+		for _, dst := range []*[]int32{&st.anyNode, &st.anySym} {
+			n, err := rd32()
+			if err != nil {
+				return fail(err)
+			}
+			*dst = make([]int32, n)
+			for k := range *dst {
+				a, err := rd32()
+				if err != nil {
+					return fail(err)
+				}
+				(*dst)[k] = int32(a)
+			}
+		}
+		na, err := rd32()
+		if err != nil {
+			return fail(err)
+		}
+		st.accepts = make([]Entry, na)
+		for k := range st.accepts {
+			v, err := rd32()
+			if err != nil {
+				return fail(err)
+			}
+			pi, err := rd32()
+			if err != nil {
+				return fail(err)
+			}
+			pl, err := rd32()
+			if err != nil {
+				return fail(err)
+			}
+			na2, err := rd32()
+			if err != nil {
+				return fail(err)
+			}
+			var eattrs []string
+			for x := uint32(0); x < na2; x++ {
+				a, err := rdStr()
+				if err != nil {
+					return fail(err)
+				}
+				eattrs = append(eattrs, a)
+			}
+			st.accepts[k] = Entry{View: int(v), PathIdx: int(pi), PathLen: int(pl), Attrs: eattrs}
+		}
+	}
+	nv, err := rd32()
+	if err != nil {
+		return fail(err)
+	}
+	for i := uint32(0); i < nv; i++ {
+		id, err := rd32()
+		if err != nil {
+			return fail(err)
+		}
+		np, err := rd32()
+		if err != nil {
+			return fail(err)
+		}
+		f.viewIDs = append(f.viewIDs, int(id))
+		f.numPaths[int(id)] = int(np)
+	}
+	gb, err := rd32()
+	if err != nil {
+		return fail(err)
+	}
+	f.gapBinding = gb&1 != 0
+	f.attrPruning = gb&2 != 0
+	tr, err := rd32()
+	if err != nil {
+		return fail(err)
+	}
+	f.transitions = int(tr)
+	return f, nil
+}
+
+// filterKey is the store key VFILTER lives under.
+var filterKey = []byte("vfilter/automaton")
+
+// PersistTo writes the automaton into the store.
+func (f *Filter) PersistTo(s *storage.Store) error {
+	data, err := f.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return s.Put(filterKey, data)
+}
+
+// LoadFrom reads an automaton previously persisted with PersistTo.
+func LoadFrom(s *storage.Store) (*Filter, error) {
+	data, ok := s.Get(filterKey)
+	if !ok {
+		return nil, fmt.Errorf("vfilter: no automaton in store")
+	}
+	return UnmarshalBinary(data)
+}
+
+// StoredSize reports the automaton's serialized size in bytes — the S_i
+// of Figure 11.
+func (f *Filter) StoredSize() int {
+	data, err := f.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}

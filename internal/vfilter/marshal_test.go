@@ -1,0 +1,119 @@
+package vfilter_test
+
+import (
+	"testing"
+
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/storage"
+	"xpathviews/internal/vfilter"
+	"xpathviews/internal/workload"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xpath"
+)
+
+// TestMarshalRoundTrip: a filter serialized and reloaded must make the
+// same filtering decisions.
+func TestMarshalRoundTrip(t *testing.T) {
+	f := vfilter.New()
+	for i, src := range paperdata.TableIViews() {
+		f.AddView(i+1, xpath.MustParse(src))
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := vfilter.UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumStates() != f.NumStates() || back.NumViews() != f.NumViews() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.NumStates(), back.NumViews(), f.NumStates(), f.NumViews())
+	}
+	q := xpath.MustParse(paperdata.QueryE)
+	a := f.Filtering(q)
+	b := back.Filtering(q)
+	if len(a.Candidates) != len(b.Candidates) {
+		t.Fatalf("candidates differ: %v vs %v", a.Candidates, b.Candidates)
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i] != b.Candidates[i] {
+			t.Fatalf("candidates differ: %v vs %v", a.Candidates, b.Candidates)
+		}
+	}
+}
+
+// TestMarshalLargeRoundTrip exercises the codec on a generated view set.
+func TestMarshalLargeRoundTrip(t *testing.T) {
+	gen := workload.New(3, xmark.Schema(), xmark.Attributes(), workload.Params{
+		MaxDepth: 4, ProbWild: 0.2, ProbDesc: 0.2, NumNestedPath: 2,
+	})
+	f := vfilter.New()
+	var queries []*pattern.Pattern
+	for i := 0; i < 400; i++ {
+		v := gen.Query()
+		f.AddView(i, v)
+		if i%10 == 0 {
+			queries = append(queries, gen.Query())
+		}
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := vfilter.UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		a, b := f.Filtering(q), back.Filtering(q)
+		if len(a.Candidates) != len(b.Candidates) {
+			t.Fatalf("filtering diverged after round trip on %s", q)
+		}
+	}
+	if f.StoredSize() != len(data) {
+		t.Fatalf("StoredSize %d != marshalled length %d", f.StoredSize(), len(data))
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	f := vfilter.New()
+	f.AddView(0, xpath.MustParse("//a/b"))
+	data, _ := f.MarshalBinary()
+	for _, bad := range [][]byte{
+		nil,
+		{1, 2, 3},
+		data[:len(data)-2],         // truncated
+		append([]byte{9}, data...), // wrong version prefix
+	} {
+		if _, err := vfilter.UnmarshalBinary(bad); err == nil {
+			t.Errorf("UnmarshalBinary accepted corrupt input of %d bytes", len(bad))
+		}
+	}
+}
+
+// TestPersistence stores and reloads the automaton through the KV store,
+// as the paper did with Berkeley DB.
+func TestPersistence(t *testing.T) {
+	f := vfilter.New()
+	for i, src := range paperdata.TableIViews() {
+		f.AddView(i+1, xpath.MustParse(src))
+	}
+	st := storage.OpenMemory()
+	if err := f.PersistTo(st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := vfilter.LoadFrom(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := back.Filtering(xpath.MustParse(paperdata.QueryE))
+	if len(res.Candidates) != 2 {
+		t.Fatalf("reloaded filter candidates = %v", res.Candidates)
+	}
+	empty := storage.OpenMemory()
+	if _, err := vfilter.LoadFrom(empty); err == nil {
+		t.Fatal("LoadFrom empty store must fail")
+	}
+}

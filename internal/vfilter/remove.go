@@ -1,0 +1,35 @@
+package vfilter
+
+// RemoveView retracts a view from the filter: its accept entries are
+// dropped (so it can never again appear as a candidate) and its
+// bookkeeping is deleted. Trie states stay in place — the paper notes
+// NFA insertion/deletion is cheap precisely because shared states need
+// no restructuring; states that no longer accept anything are harmless
+// and are reclaimed when the owner rebuilds the filter (see the System
+// facade's CompactFilter). Removing an unknown ID is a no-op and
+// reported as false.
+func (f *Filter) RemoveView(id int) bool {
+	if _, ok := f.numPaths[id]; !ok {
+		return false
+	}
+	delete(f.numPaths, id)
+	for i, v := range f.viewIDs {
+		if v == id {
+			f.viewIDs = append(f.viewIDs[:i], f.viewIDs[i+1:]...)
+			break
+		}
+	}
+	for _, st := range f.states {
+		if len(st.accepts) == 0 {
+			continue
+		}
+		kept := st.accepts[:0]
+		for _, e := range st.accepts {
+			if e.View != id {
+				kept = append(kept, e)
+			}
+		}
+		st.accepts = kept
+	}
+	return true
+}

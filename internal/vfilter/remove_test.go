@@ -1,0 +1,56 @@
+package vfilter_test
+
+import (
+	"testing"
+
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/vfilter"
+	"xpathviews/internal/xpath"
+)
+
+func TestRemoveView(t *testing.T) {
+	f := vfilter.New()
+	for i, src := range paperdata.TableIViews() {
+		f.AddView(i+1, xpath.MustParse(src))
+	}
+	q := xpath.MustParse(paperdata.QueryE)
+	before := f.Filtering(q)
+	if len(before.Candidates) != 2 {
+		t.Fatalf("candidates before = %v", before.Candidates)
+	}
+
+	if !f.RemoveView(4) {
+		t.Fatal("RemoveView(4) = false")
+	}
+	if f.RemoveView(4) {
+		t.Fatal("double remove must be false")
+	}
+	if f.NumViews() != 3 {
+		t.Fatalf("NumViews = %d, want 3", f.NumViews())
+	}
+	after := f.Filtering(q)
+	if len(after.Candidates) != 1 || after.Candidates[0] != 1 {
+		t.Fatalf("candidates after removing V4 = %v, want [1]", after.Candidates)
+	}
+	// The removed view must also vanish from the sorted lists.
+	for i, list := range after.Lists {
+		for _, le := range list {
+			if le.View == 4 {
+				t.Fatalf("removed view still in LIST(%s)", after.QueryPaths[i])
+			}
+		}
+	}
+	// Re-adding under a fresh ID restores filtering.
+	f.AddView(9, xpath.MustParse(paperdata.TableIViews()[3]))
+	again := f.Filtering(q)
+	if len(again.Candidates) != 2 {
+		t.Fatalf("candidates after re-add = %v", again.Candidates)
+	}
+}
+
+func TestRemoveUnknownView(t *testing.T) {
+	f := vfilter.New()
+	if f.RemoveView(42) {
+		t.Fatal("removing from an empty filter must be false")
+	}
+}

@@ -1,0 +1,373 @@
+// Package vfilter implements VFILTER (§III): an NFA over the decomposed,
+// normalized root-to-leaf path patterns of a view set. Reading the string
+// form STR(P) of a query path pattern P leads to the accepting states of
+// exactly those view path patterns that contain P; a view survives
+// filtering iff each of its path patterns contains some path pattern of
+// the query (Proposition 3.1).
+//
+// The filter admits false positives but — thanks to normalization
+// (§III-C) — no false negatives.
+//
+// Construction uses the four basic fragments of Figure 5, sharing common
+// prefixes in a trie so that the automaton stays compact as the view set
+// grows (the effect Figure 11 measures):
+//
+//	/l  : s ──l──▶ t
+//	/*  : s ──any node symbol──▶ t
+//	//l : s ──l──▶ t   and   s ──any──▶ u ⟲any, u ──l──▶ t
+//	//* : s ──node──▶ t  and  s ──any──▶ u ⟲any, u ──node──▶ t
+//
+// where "any" ranges over the whole alphabet (labels, the wildcard symbol
+// and the descendant marker '^') and "node" over everything except '^'.
+// The skip state u realizes the paper's self-loop without ε-transitions.
+package vfilter
+
+import (
+	"sort"
+
+	"xpathviews/internal/pattern"
+)
+
+// Entry identifies one view path pattern stored at an accepting state.
+type Entry struct {
+	// View is the caller-assigned view identifier.
+	View int
+	// PathIdx is the index of this path within the view's normalized
+	// decomposition.
+	PathIdx int
+	// PathLen is the number of labels of the view path — the "l" of the
+	// sorted lists in Algorithm 1.
+	PathLen int
+	// Attrs holds the sorted attribute names this view path requires on
+	// an accepted query path (attribute-pruning extension; nil when the
+	// extension is off).
+	Attrs []string
+}
+
+type state struct {
+	// byLabel holds arcs taken on one exact symbol.
+	byLabel map[string][]int32
+	// anyNode holds arcs taken on any symbol except the descendant
+	// marker (wildcard steps).
+	anyNode []int32
+	// anySym holds arcs taken on any symbol including the descendant
+	// marker (the skip arcs of '//' fragments).
+	anySym []int32
+	// accepts lists the view path patterns this state accepts.
+	accepts []Entry
+
+	// trie links for prefix sharing during construction:
+	// next[stepKey] = end state of the fragment for that step.
+	next map[stepKey]int32
+	// loopOf[stepKey] = skip state of the '//' fragment for that step.
+	loopOf map[stepKey]int32
+}
+
+type stepKey struct {
+	axis  pattern.Axis
+	label string
+}
+
+// Filter is the VFILTER automaton plus its per-view bookkeeping.
+type Filter struct {
+	states []*state
+	start  int32
+
+	// numPaths[viewID] = |D(V)| after normalization and deduplication.
+	numPaths map[int]int
+	// viewIDs in insertion order, for deterministic candidate output.
+	viewIDs []int
+
+	// gapBinding extends the paper's automaton: while reading a
+	// descendant marker '^', view wildcard steps may bind to the
+	// anonymous nodes the gap implies (an ε-closure over wildcard arcs).
+	// Without it the filter has rare false negatives that normalization
+	// alone cannot remove — e.g. //a/d//e//c ⊑ //a//*/e holds (by case
+	// analysis over where e's parent sits) yet no single homomorphism,
+	// and hence no plain NFA run, witnesses it. Gap binding restores the
+	// no-false-negative guarantee at the cost of a few extra false
+	// positives, which answerability checking removes anyway.
+	gapBinding bool
+
+	// attrPruning enables the §VII attribute-pruning extension (see
+	// attrs.go).
+	attrPruning bool
+
+	transitions int
+}
+
+// New creates an empty filter with gap binding enabled (safe mode).
+func New() *Filter {
+	f := NewExact()
+	f.gapBinding = true
+	return f
+}
+
+// NewExact creates an empty filter implementing the paper's automaton
+// exactly (no gap binding). Used to reproduce Examples 3.2/3.3 and by the
+// normalization ablation.
+func NewExact() *Filter {
+	f := &Filter{numPaths: make(map[int]int)}
+	f.start = f.newState()
+	return f
+}
+
+func (f *Filter) newState() int32 {
+	f.states = append(f.states, &state{})
+	return int32(len(f.states) - 1)
+}
+
+// NumStates returns the number of NFA states.
+func (f *Filter) NumStates() int { return len(f.states) }
+
+// NumTransitions returns the number of stored arcs (skip self-loops count
+// once).
+func (f *Filter) NumTransitions() int { return f.transitions }
+
+// NumViews returns the number of views added.
+func (f *Filter) NumViews() int { return len(f.viewIDs) }
+
+// AddView decomposes, normalizes and inserts a view's path patterns.
+// View IDs must be unique; re-adding an ID panics.
+func (f *Filter) AddView(id int, v *pattern.Pattern) {
+	if _, dup := f.numPaths[id]; dup {
+		panic("vfilter: duplicate view id")
+	}
+	if f.attrPruning {
+		f.addViewAttrs(id, v)
+		return
+	}
+	paths := pattern.DecomposeNormalized(v)
+	f.numPaths[id] = len(paths)
+	f.viewIDs = append(f.viewIDs, id)
+	for i, p := range paths {
+		f.insertPath(Entry{View: id, PathIdx: i, PathLen: p.Len()}, p)
+	}
+}
+
+// insertPath threads one normalized path pattern through the trie,
+// creating fragments as needed, and marks the final state accepting.
+func (f *Filter) insertPath(e Entry, p pattern.Path) {
+	cur := f.start
+	for _, s := range p.Steps {
+		key := stepKey{axis: s.Axis, label: s.Label}
+		st := f.states[cur]
+		if st.next == nil {
+			st.next = make(map[stepKey]int32, 1)
+		}
+		if nxt, ok := st.next[key]; ok {
+			cur = nxt
+			continue
+		}
+		end := f.newState()
+		st = f.states[cur] // newState may have grown the slice
+		switch {
+		case s.Axis == pattern.Child && s.Label != pattern.Wildcard:
+			f.addLabelArc(cur, s.Label, end)
+		case s.Axis == pattern.Child && s.Label == pattern.Wildcard:
+			f.states[cur].anyNode = append(f.states[cur].anyNode, end)
+			f.transitions++
+		default: // Descendant
+			loop := f.newState()
+			st = f.states[cur]
+			if st.loopOf == nil {
+				st.loopOf = make(map[stepKey]int32, 1)
+			}
+			st.loopOf[key] = loop
+			// entering and staying in the skip state
+			f.states[cur].anySym = append(f.states[cur].anySym, loop)
+			f.states[loop].anySym = append(f.states[loop].anySym, loop)
+			f.transitions += 2
+			if s.Label != pattern.Wildcard {
+				f.addLabelArc(cur, s.Label, end)
+				f.addLabelArc(loop, s.Label, end)
+			} else {
+				f.states[cur].anyNode = append(f.states[cur].anyNode, end)
+				f.states[loop].anyNode = append(f.states[loop].anyNode, end)
+				f.transitions += 2
+			}
+		}
+		f.states[cur].next[key] = end
+		cur = end
+	}
+	f.states[cur].accepts = append(f.states[cur].accepts, e)
+}
+
+func (f *Filter) addLabelArc(from int32, label string, to int32) {
+	st := f.states[from]
+	if st.byLabel == nil {
+		st.byLabel = make(map[string][]int32, 1)
+	}
+	st.byLabel[label] = append(st.byLabel[label], to)
+	f.transitions++
+}
+
+// Read runs the automaton over the symbols of one query path pattern
+// string and returns the entries of all accepting states reached after
+// any prefix of the input. Prefix ("sticky") acceptance realizes the
+// paper's self-loop on accepting states — a view path pattern contains
+// every query path that extends one of its matches — without adding the
+// loop to trie states shared with longer view paths (which would create
+// avoidable false positives). The input must come from pattern.Str on a
+// normalized path.
+func (f *Filter) Read(symbols []string) []Entry {
+	var out []Entry
+	seen := make(map[int32]struct{}, 4)
+	collect := func(set []int32) {
+		for _, si := range set {
+			if len(f.states[si].accepts) == 0 {
+				continue
+			}
+			if _, dup := seen[si]; dup {
+				continue
+			}
+			seen[si] = struct{}{}
+			out = append(out, f.states[si].accepts...)
+		}
+	}
+	cur := []int32{f.start}
+	next := make([]int32, 0, 8)
+	mark := make(map[int32]struct{}, 16)
+	for _, sym := range symbols {
+		next = next[:0]
+		for k := range mark {
+			delete(mark, k)
+		}
+		add := func(s int32) {
+			if _, dup := mark[s]; !dup {
+				mark[s] = struct{}{}
+				next = append(next, s)
+			}
+		}
+		for _, si := range cur {
+			st := f.states[si]
+			for _, t := range st.byLabel[sym] {
+				add(t)
+			}
+			if sym != pattern.SymDescend {
+				for _, t := range st.anyNode {
+					add(t)
+				}
+			}
+			for _, t := range st.anySym {
+				add(t)
+			}
+		}
+		if sym == pattern.SymDescend && f.gapBinding {
+			// Close over wildcard arcs: anonymous gap nodes may stand in
+			// for view '*' steps. Seeds are the states already reached
+			// via one gap move plus the current states' wildcard arcs.
+			for _, si := range cur {
+				for _, t := range f.states[si].anyNode {
+					add(t)
+				}
+			}
+			for i := 0; i < len(next); i++ { // next grows during the loop
+				st := f.states[next[i]]
+				for _, t := range st.anyNode {
+					add(t)
+				}
+				for _, t := range st.anySym {
+					add(t)
+				}
+			}
+		}
+		cur, next = next, cur
+		if len(cur) == 0 {
+			break
+		}
+		collect(cur)
+	}
+	return out
+}
+
+// ListEntry is one element of the sorted list LIST(Pi) that Algorithm 1
+// maintains for a query path pattern: a view and the largest length of a
+// view path pattern of that view containing Pi.
+type ListEntry struct {
+	View int
+	Len  int
+}
+
+// Result is the output of Algorithm 1 for one query.
+type Result struct {
+	// Candidates holds the surviving view IDs, in view insertion order.
+	Candidates []int
+	// QueryPaths holds the normalized, deduplicated path decomposition of
+	// the query, in first-occurrence order.
+	QueryPaths []pattern.Path
+	// Lists[i] is LIST(QueryPaths[i]): candidate views containing the
+	// path, sorted by Len descending (ties: smaller view ID first).
+	Lists [][]ListEntry
+}
+
+// Filtering runs Algorithm 1 (ViewFiltering) for query q: it decomposes
+// and normalizes q, reads each path through the automaton, counts for
+// every view the number of distinct view path patterns that accepted at
+// least one query path, and outputs views whose every path pattern
+// accepted (NUM(V) = |D(V)|).
+//
+// Deviating from the paper's literal pseudo-code, acceptance is counted
+// per distinct view path pattern (a bitset per view) rather than per
+// acceptance event; double-counting events could otherwise filter views
+// that must be kept. See DESIGN.md.
+func (f *Filter) Filtering(q *pattern.Pattern) *Result {
+	var queryAttrs [][]string
+	var res *Result
+	if f.attrPruning {
+		pas := pattern.DecomposeNormalizedWithAttrsUnion(q)
+		paths := make([]pattern.Path, len(pas))
+		queryAttrs = make([][]string, len(pas))
+		for i, pa := range pas {
+			paths[i] = pa.Path
+			queryAttrs[i] = pa.Attrs
+		}
+		res = &Result{QueryPaths: paths}
+	} else {
+		res = &Result{QueryPaths: pattern.DecomposeNormalized(q)}
+	}
+	seen := make(map[int]map[int]struct{})           // view → set of path indices
+	best := make([]map[int]int, len(res.QueryPaths)) // per query path: view → max len
+	for i, qp := range res.QueryPaths {
+		entries := f.Read(pattern.Str(qp))
+		best[i] = make(map[int]int)
+		for _, e := range entries {
+			if f.attrPruning && !pattern.SubsetSorted(e.Attrs, queryAttrs[i]) {
+				continue
+			}
+			s, ok := seen[e.View]
+			if !ok {
+				s = make(map[int]struct{}, 2)
+				seen[e.View] = s
+			}
+			s[e.PathIdx] = struct{}{}
+			if e.PathLen > best[i][e.View] {
+				best[i][e.View] = e.PathLen
+			}
+		}
+	}
+	surviving := make(map[int]bool, len(seen))
+	for _, id := range f.viewIDs {
+		if s := seen[id]; s != nil && len(s) == f.numPaths[id] {
+			surviving[id] = true
+			res.Candidates = append(res.Candidates, id)
+		}
+	}
+	res.Lists = make([][]ListEntry, len(res.QueryPaths))
+	for i := range res.QueryPaths {
+		list := make([]ListEntry, 0, len(best[i]))
+		for v, l := range best[i] {
+			if surviving[v] { // lines 22-26: drop filtered views
+				list = append(list, ListEntry{View: v, Len: l})
+			}
+		}
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].Len != list[b].Len {
+				return list[a].Len > list[b].Len
+			}
+			return list[a].View < list[b].View
+		})
+		res.Lists[i] = list
+	}
+	return res
+}

@@ -1,0 +1,215 @@
+package vfilter_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/vfilter"
+	"xpathviews/internal/xpath"
+)
+
+// buildTableI constructs the VFilter over the reconstructed Table I view
+// set (view IDs 1..4 to mirror the paper's naming).
+func buildTableI(t *testing.T) *vfilter.Filter {
+	t.Helper()
+	f := vfilter.New()
+	for i, src := range paperdata.TableIViews() {
+		f.AddView(i+1, xpath.MustParse(src))
+	}
+	return f
+}
+
+// TestTableI_II checks the decomposition behind Table II: the distinct
+// normalized path patterns of V1..V4.
+func TestTableI_II(t *testing.T) {
+	want := map[string][]string{
+		"//s[t]/p":        {"//s/t", "//s/p"},
+		"//s[a][.//i]//p": {"//s/a", "//s//i", "//s//p"},
+		"//s[*//t]//p":    {"//s//*/t", "//s//p"}, // s/*//t normalizes to s//*/t (Example 3.3)
+		"//s[p]/f":        {"//s/p", "//s/f"},
+	}
+	for src, paths := range want {
+		got := pattern.DecomposeNormalized(xpath.MustParse(src))
+		if len(got) != len(paths) {
+			t.Errorf("D(%s) = %v, want %v", src, got, paths)
+			continue
+		}
+		for i := range got {
+			if got[i].String() != paths[i] {
+				t.Errorf("D(%s)[%d] = %s, want %s", src, i, got[i], paths[i])
+			}
+		}
+	}
+}
+
+// TestExample34 replays Example 3.4: filtering Q_e = //s[f//i][t]/p over
+// Table I must keep exactly {V1, V4} and produce the paper's sorted
+// lists: {(V4,2)} for s/f//i, {(V1,2)} for s/t, {(V1,2),(V4,2)} for s/p.
+func TestExample34(t *testing.T) {
+	f := buildTableI(t)
+	res := f.Filtering(xpath.MustParse(paperdata.QueryE))
+
+	if len(res.Candidates) != 2 || res.Candidates[0] != 1 || res.Candidates[1] != 4 {
+		t.Fatalf("candidates = %v, want [1 4]", res.Candidates)
+	}
+	if len(res.QueryPaths) != 3 {
+		t.Fatalf("query paths = %v", res.QueryPaths)
+	}
+	wantPaths := []string{"//s/f//i", "//s/t", "//s/p"}
+	wantLists := [][]vfilter.ListEntry{
+		{{View: 4, Len: 2}},
+		{{View: 1, Len: 2}},
+		{{View: 1, Len: 2}, {View: 4, Len: 2}},
+	}
+	for i, wp := range wantPaths {
+		if res.QueryPaths[i].String() != wp {
+			t.Errorf("query path %d = %s, want %s", i, res.QueryPaths[i], wp)
+		}
+		if len(res.Lists[i]) != len(wantLists[i]) {
+			t.Errorf("LIST(%s) = %v, want %v", wp, res.Lists[i], wantLists[i])
+			continue
+		}
+		for j := range wantLists[i] {
+			if res.Lists[i][j] != wantLists[i][j] {
+				t.Errorf("LIST(%s)[%d] = %v, want %v", wp, j, res.Lists[i][j], wantLists[i][j])
+			}
+		}
+	}
+}
+
+// TestExample32_33 replays Examples 3.2/3.3 on the paper-exact automaton
+// (no gap binding): the un-normalized s/*//t is rejected, its
+// normalization s//*/t is accepted at V3's path pattern. This is the
+// false-negative demonstration that motivates §III-C.
+func TestExample32_33(t *testing.T) {
+	f := vfilter.NewExact()
+	for i, src := range paperdata.TableIViews() {
+		f.AddView(i+1, xpath.MustParse(src))
+	}
+	raw, _ := pattern.PathOf(xpath.MustParse("//s/*//t"))
+	if got := f.Read(pattern.Str(raw)); len(got) != 0 {
+		t.Fatalf("un-normalized path accepted: %v (false negatives analysis relies on rejection)", got)
+	}
+	norm := pattern.Normalize(raw)
+	got := f.Read(pattern.Str(norm))
+	if len(got) != 1 || got[0].View != 3 {
+		t.Fatalf("normalized path acceptance = %v, want V3", got)
+	}
+}
+
+// TestNoFalseNegatives is the filter's headline guarantee: any view with
+// a homomorphism to the query survives filtering.
+func TestNoFalseNegatives(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	labels := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 60; trial++ {
+		f := vfilter.New()
+		var pats []*pattern.Pattern
+		for id := 0; id < 40; id++ {
+			v := randomPattern(r, labels, 5)
+			pats = append(pats, v)
+			f.AddView(id, v)
+		}
+		for qi := 0; qi < 10; qi++ {
+			q := randomPattern(r, labels, 6)
+			res := f.Filtering(q)
+			candidate := make(map[int]bool, len(res.Candidates))
+			for _, id := range res.Candidates {
+				candidate[id] = true
+			}
+			for id, v := range pats {
+				if pattern.Contains(v, q) && !candidate[id] {
+					t.Fatalf("false negative: view %s contains query %s but was filtered", v, q)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterPrecision sanity-checks that filtering is not vacuous: on the
+// Table I workload it removes at least one non-containing view.
+func TestFilterPrecision(t *testing.T) {
+	f := buildTableI(t)
+	res := f.Filtering(xpath.MustParse(paperdata.QueryE))
+	if len(res.Candidates) == f.NumViews() {
+		t.Fatal("filter kept every view; no pruning happened")
+	}
+}
+
+// TestPrefixSharing: inserting many views with shared prefixes must
+// create far fewer states than inserting them into isolated automata
+// (the Figure 11 effect).
+func TestPrefixSharing(t *testing.T) {
+	shared := vfilter.New()
+	total := 0
+	queries := []string{
+		"//a/b/c", "//a/b/d", "//a/b//e", "//a/b/c/d", "//a/b/c//e",
+	}
+	for i, s := range queries {
+		shared.AddView(i, xpath.MustParse(s))
+		solo := vfilter.New()
+		solo.AddView(0, xpath.MustParse(s))
+		total += solo.NumStates() - 1 // don't double-count the start state
+	}
+	if shared.NumStates() >= total+1 {
+		t.Fatalf("no prefix sharing: shared=%d vs sum=%d", shared.NumStates(), total+1)
+	}
+}
+
+// TestDuplicateViewPanics documents the ID contract.
+func TestDuplicateViewPanics(t *testing.T) {
+	f := vfilter.New()
+	f.AddView(1, xpath.MustParse("//a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddView did not panic")
+		}
+	}()
+	f.AddView(1, xpath.MustParse("//b"))
+}
+
+// TestWildcardSemantics pins the alphabet rules: a view wildcard accepts
+// any label; a query wildcard is only accepted by view wildcards.
+func TestWildcardSemantics(t *testing.T) {
+	f := vfilter.New()
+	f.AddView(1, xpath.MustParse("//a/*")) // paths: a/*
+	f.AddView(2, xpath.MustParse("//a/b"))
+
+	read := func(src string) map[int]bool {
+		p, _ := pattern.PathOf(xpath.MustParse(src))
+		out := map[int]bool{}
+		for _, e := range f.Read(pattern.Str(pattern.Normalize(p))) {
+			out[e.View] = true
+		}
+		return out
+	}
+	if got := read("//a/b"); !got[1] || !got[2] {
+		t.Fatalf("//a/b acceptance = %v, want both", got)
+	}
+	if got := read("//a/*"); !got[1] || got[2] {
+		t.Fatalf("//a/* acceptance = %v, want view 1 only", got)
+	}
+	// //a//b ⊑ //a/* holds (a has some child whenever it has a
+	// descendant); gap binding catches this homomorphism-free
+	// containment. //a//b ⊄ //a/b.
+	if got := read("//a//b"); !got[1] || got[2] {
+		t.Fatalf("//a//b acceptance = %v, want view 1 only", got)
+	}
+}
+
+func randomPattern(r *rand.Rand, labels []string, maxNodes int) *pattern.Pattern {
+	root := pattern.NewNode(labels[r.Intn(len(labels))], pattern.Descendant)
+	nodes := []*pattern.Node{root}
+	n := 1 + r.Intn(maxNodes)
+	for len(nodes) < n {
+		parent := nodes[r.Intn(len(nodes))]
+		lb := labels[r.Intn(len(labels))]
+		if r.Intn(6) == 0 {
+			lb = pattern.Wildcard
+		}
+		nodes = append(nodes, parent.AddChild(lb, pattern.Axis(r.Intn(2))))
+	}
+	return &pattern.Pattern{Root: root, Ret: nodes[r.Intn(len(nodes))]}
+}

@@ -1,0 +1,165 @@
+// Package views defines materialized XPath views: a view is a tree
+// pattern whose answer-node subtrees ("fragments") are pre-computed and
+// stored together with the extended Dewey code of each fragment root.
+// Per XPath semantics only the answer node's fragments are materialized —
+// the fact that drives the whole paper (§I: a[./b/d]/c cannot be answered
+// from a[./b]/c's fragments).
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/xmltree"
+)
+
+// DefaultFragmentLimit is the paper's per-view cap on materialized
+// fragment bytes (§VI: 128 KB, following Mandhani & Suciu).
+const DefaultFragmentLimit = 128 << 10
+
+// Fragment is one materialized answer subtree.
+type Fragment struct {
+	// Tree is the standalone copy of the answer node's subtree.
+	Tree *xmltree.Tree
+	// Code is the extended Dewey code of the fragment root in the base
+	// document; the root's label-path is recoverable from it via the FST
+	// without touching base data.
+	Code dewey.Code
+	// NodeCodes holds the base-document code of every fragment node,
+	// aligned with Tree.Nodes() (preorder). Extraction uses it to report
+	// answers by their global codes.
+	NodeCodes []dewey.Code
+	// Bytes is the serialized size of the fragment.
+	Bytes int
+}
+
+// View is a materialized view.
+type View struct {
+	// ID is the registry-assigned identifier, aligned with VFilter IDs.
+	ID int
+	// Pattern is the view definition.
+	Pattern *pattern.Pattern
+	// Fragments are the materialized answers in document order.
+	Fragments []Fragment
+	// TotalBytes is the sum of fragment sizes.
+	TotalBytes int
+}
+
+// Materialize evaluates v's pattern over the base document and stores its
+// fragments. enc must be an encoding of t. When limit > 0 and the total
+// serialized size exceeds it, Materialize returns ErrTooLarge. idx may be
+// nil, in which case one is built for this call.
+func Materialize(id int, p *pattern.Pattern, t *xmltree.Tree, enc *dewey.Encoding, idx *engine.LabelIndex, limit int) (*View, error) {
+	if idx == nil {
+		idx = engine.BuildLabelIndex(t)
+	}
+	answers := engine.AnswersFast(t, idx, p)
+	v := &View{ID: id, Pattern: p, Fragments: make([]Fragment, 0, len(answers))}
+	for _, a := range answers {
+		code, ok := enc.CodeOf(a)
+		if !ok {
+			return nil, fmt.Errorf("views: answer node %q has no dewey code", a.Label)
+		}
+		sub := xmltree.FromRoot(a.CopySubtree())
+		size := xmltree.SerializedSize(sub.Root())
+		// CopySubtree preserves preorder, so the original subtree's node
+		// codes align index-for-index with sub.Tree.Nodes().
+		var codes []dewey.Code
+		var collect func(n *xmltree.Node)
+		collect = func(n *xmltree.Node) {
+			c, _ := enc.CodeOf(n)
+			codes = append(codes, c)
+			for _, ch := range n.Children {
+				collect(ch)
+			}
+		}
+		collect(a)
+		v.Fragments = append(v.Fragments, Fragment{Tree: sub, Code: code.Clone(), NodeCodes: codes, Bytes: size})
+		v.TotalBytes += size
+		if limit > 0 && v.TotalBytes > limit {
+			return nil, fmt.Errorf("views: view %d: %w (%d bytes > %d)", id, ErrTooLarge, v.TotalBytes, limit)
+		}
+	}
+	sort.Slice(v.Fragments, func(i, j int) bool {
+		return dewey.Compare(v.Fragments[i].Code, v.Fragments[j].Code) < 0
+	})
+	return v, nil
+}
+
+// ErrTooLarge reports that a view's fragments exceed the configured cap.
+var ErrTooLarge = fmt.Errorf("materialized fragments exceed the size limit")
+
+// IsEmpty reports whether the view materialized no fragments.
+func (v *View) IsEmpty() bool { return len(v.Fragments) == 0 }
+
+// Registry holds the materialized view set V = {V1..Vn} over one
+// document.
+type Registry struct {
+	Doc      *xmltree.Tree
+	Enc      *dewey.Encoding
+	Index    *engine.LabelIndex
+	ViewList []*View
+	byID     map[int]*View
+}
+
+// NewRegistry creates an empty registry over an encoded document.
+func NewRegistry(doc *xmltree.Tree, enc *dewey.Encoding) *Registry {
+	return &Registry{Doc: doc, Enc: enc, Index: engine.BuildLabelIndex(doc), byID: make(map[int]*View)}
+}
+
+// Add materializes a view pattern and registers it under the next free ID.
+// Patterns are minimized first (§II assumes minimized patterns).
+func (r *Registry) Add(p *pattern.Pattern, limit int) (*View, error) {
+	id := len(r.ViewList)
+	v, err := Materialize(id, pattern.Minimize(p), r.Doc, r.Enc, r.Index, limit)
+	if err != nil {
+		return nil, err
+	}
+	r.ViewList = append(r.ViewList, v)
+	r.byID[id] = v
+	return v, nil
+}
+
+// Get returns the view with the given ID, or nil.
+func (r *Registry) Get(id int) *View { return r.byID[id] }
+
+// Len returns the number of live (non-removed) views.
+func (r *Registry) Len() int { return len(r.byID) }
+
+// Remove drops a view from the registry. IDs are never reused; the
+// ViewList slot is nilled out so existing indices stay valid. Returns
+// false for unknown or already-removed IDs.
+func (r *Registry) Remove(id int) bool {
+	v, ok := r.byID[id]
+	if !ok {
+		return false
+	}
+	delete(r.byID, id)
+	if id >= 0 && id < len(r.ViewList) && r.ViewList[id] == v {
+		r.ViewList[id] = nil
+	}
+	return true
+}
+
+// Views returns the live views in ID order.
+func (r *Registry) Views() []*View {
+	out := make([]*View, 0, len(r.byID))
+	for _, v := range r.ViewList {
+		if v != nil && r.byID[v.ID] == v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TotalBytes sums the live views' materialized sizes.
+func (r *Registry) TotalBytes() int {
+	total := 0
+	for _, v := range r.Views() {
+		total += v.TotalBytes
+	}
+	return total
+}

@@ -1,0 +1,147 @@
+// Package workload generates random XPath queries in the style of the
+// YFilter query generator the paper used (§VI), with the same knobs:
+// maximum depth, wildcard probability, descendant-edge probability, the
+// number of (attribute) predicates and the number of nested paths
+// (structural branch predicates). Queries are random walks over a schema
+// graph — here the XMark vocabulary — and a helper retains only positive
+// queries (non-empty result on a document), as the paper did.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"xpathviews/internal/engine"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/xmltree"
+)
+
+// Params mirrors the paper's generator parameters (§VI-A sets
+// max_depth=4, prob_wild=prob_edge=0.2, num_pred=1, num_nestedpath=1;
+// §VI-B uses num_nestedpath=2 and no attribute predicates).
+type Params struct {
+	MaxDepth      int     // maximum number of steps on the main path
+	ProbWild      float64 // probability a step's label becomes '*'
+	ProbDesc      float64 // probability a step's axis becomes '//'
+	NumPred       int     // attribute predicates per query (upper bound)
+	NumNestedPath int     // structural branch predicates per query (upper bound)
+}
+
+// Generator produces random queries over a schema.
+type Generator struct {
+	r      *rand.Rand
+	schema map[string][]string
+	attrs  map[string][]string
+	labels []string // labels that have schema children, sorted for determinism
+	params Params
+}
+
+// New creates a generator over the given schema adjacency (parent label →
+// child labels) and attribute table.
+func New(seed int64, schema map[string][]string, attrs map[string][]string, p Params) *Generator {
+	g := &Generator{
+		r:      rand.New(rand.NewSource(seed)),
+		schema: schema,
+		attrs:  attrs,
+		params: p,
+	}
+	for l := range schema {
+		g.labels = append(g.labels, l)
+	}
+	sort.Strings(g.labels)
+	return g
+}
+
+// Query generates one random query pattern. The walk starts at a random
+// schema label and descends through schema edges; wildcards and
+// descendant axes are injected per the probabilities. Branch predicates
+// (nested paths) are short walks hanging off random main-path nodes, and
+// attribute predicates are drawn from the attribute table.
+func (g *Generator) Query() *pattern.Pattern {
+	depth := 2 + g.r.Intn(g.params.MaxDepth-1) // 2..MaxDepth steps
+	if g.params.MaxDepth < 2 {
+		depth = 1
+	}
+	startLabel := g.labels[g.r.Intn(len(g.labels))]
+	root := pattern.NewNode(g.stepLabel(startLabel), pattern.Descendant)
+	schemaLabel := startLabel
+	cur := root
+	var mainPath []*pattern.Node
+	var mainLabels []string
+	mainPath = append(mainPath, cur)
+	mainLabels = append(mainLabels, schemaLabel)
+	for i := 1; i < depth; i++ {
+		children := g.schema[schemaLabel]
+		if len(children) == 0 {
+			break
+		}
+		next := children[g.r.Intn(len(children))]
+		ax := pattern.Child
+		if g.r.Float64() < g.params.ProbDesc {
+			ax = pattern.Descendant
+		}
+		cur = cur.AddChild(g.stepLabel(next), ax)
+		schemaLabel = next
+		mainPath = append(mainPath, cur)
+		mainLabels = append(mainLabels, schemaLabel)
+	}
+	// Nested path predicates.
+	for k := 0; k < g.params.NumNestedPath; k++ {
+		if g.r.Intn(2) == 0 && k > 0 {
+			continue // "up to" semantics beyond the first
+		}
+		at := g.r.Intn(len(mainPath))
+		g.attachBranch(mainPath[at], mainLabels[at], 1+g.r.Intn(2))
+	}
+	// Attribute predicates.
+	for k := 0; k < g.params.NumPred; k++ {
+		at := g.r.Intn(len(mainPath))
+		owner := mainPath[at]
+		names := g.attrs[mainLabels[at]]
+		if len(names) == 0 || owner.Label == pattern.Wildcard {
+			continue
+		}
+		owner.Attrs = append(owner.Attrs, pattern.AttrPred{Name: names[g.r.Intn(len(names))], Op: pattern.AttrExists})
+	}
+	return &pattern.Pattern{Root: root, Ret: cur}
+}
+
+func (g *Generator) attachBranch(owner *pattern.Node, ownerLabel string, steps int) {
+	schemaLabel := ownerLabel
+	cur := owner
+	for i := 0; i < steps; i++ {
+		children := g.schema[schemaLabel]
+		if len(children) == 0 {
+			return
+		}
+		next := children[g.r.Intn(len(children))]
+		ax := pattern.Child
+		if g.r.Float64() < g.params.ProbDesc {
+			ax = pattern.Descendant
+		}
+		cur = cur.AddChild(g.stepLabel(next), ax)
+		schemaLabel = next
+	}
+}
+
+func (g *Generator) stepLabel(l string) string {
+	if g.r.Float64() < g.params.ProbWild {
+		return pattern.Wildcard
+	}
+	return l
+}
+
+// Positive generates queries until n of them are positive (non-empty
+// result) on doc, mirroring the paper's "we wrote a program to find
+// positive queries". maxTries bounds the search; fewer than n queries may
+// be returned if the bound is hit.
+func (g *Generator) Positive(doc *xmltree.Tree, n, maxTries int) []*pattern.Pattern {
+	var out []*pattern.Pattern
+	for tries := 0; len(out) < n && tries < maxTries; tries++ {
+		q := g.Query()
+		if len(engine.Answers(doc, q)) > 0 {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package workload_test
+
+import (
+	"testing"
+
+	"xpathviews/internal/engine"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/workload"
+	"xpathviews/internal/xmark"
+)
+
+func params() workload.Params {
+	return workload.Params{MaxDepth: 4, ProbWild: 0.2, ProbDesc: 0.2, NumPred: 1, NumNestedPath: 1}
+}
+
+func TestQueryShape(t *testing.T) {
+	g := workload.New(1, xmark.Schema(), xmark.Attributes(), params())
+	sawWild, sawDesc, sawBranch, sawAttr := false, false, false, false
+	for i := 0; i < 500; i++ {
+		q := g.Query()
+		if err := q.Validate(); err != nil {
+			t.Fatalf("generated invalid pattern: %v", err)
+		}
+		if d := q.Depth(); d > 4+2 { // main path ≤ 4 steps; branches add ≤ 2
+			t.Fatalf("query too deep: %s (depth %d)", q, d)
+		}
+		q.Walk(func(n *pattern.Node) bool {
+			if n.Label == pattern.Wildcard {
+				sawWild = true
+			}
+			if n.Axis == pattern.Descendant && n.Parent != nil {
+				sawDesc = true
+			}
+			if len(n.Attrs) > 0 {
+				sawAttr = true
+			}
+			return true
+		})
+		if len(q.Leaves()) > 1 {
+			sawBranch = true
+		}
+	}
+	if !sawWild || !sawDesc || !sawBranch || !sawAttr {
+		t.Fatalf("generator never produced some feature: wild=%v desc=%v branch=%v attr=%v",
+			sawWild, sawDesc, sawBranch, sawAttr)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := workload.New(7, xmark.Schema(), xmark.Attributes(), params())
+	b := workload.New(7, xmark.Schema(), xmark.Attributes(), params())
+	for i := 0; i < 50; i++ {
+		if a.Query().String() != b.Query().String() {
+			t.Fatal("same seed produced different queries")
+		}
+	}
+	c := workload.New(8, xmark.Schema(), xmark.Attributes(), params())
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Query().String() == c.Query().String() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestPositive(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.05, Seed: 3})
+	g := workload.New(9, xmark.Schema(), xmark.Attributes(), params())
+	qs := g.Positive(doc, 20, 4000)
+	if len(qs) < 10 {
+		t.Fatalf("found only %d positive queries", len(qs))
+	}
+	for _, q := range qs {
+		if len(engine.Answers(doc, q)) == 0 {
+			t.Fatalf("Positive returned an empty-result query: %s", q)
+		}
+	}
+}
+
+func TestNoAttrParams(t *testing.T) {
+	p := params()
+	p.NumPred = 0
+	g := workload.New(11, xmark.Schema(), xmark.Attributes(), p)
+	for i := 0; i < 200; i++ {
+		q := g.Query()
+		q.Walk(func(n *pattern.Node) bool {
+			if len(n.Attrs) > 0 {
+				t.Fatalf("NumPred=0 produced attribute predicate in %s", q)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,330 @@
+// Package xmark generates auction-site XML documents with the vocabulary
+// and shape of the XMark benchmark (the paper's workload, §VI, used a
+// 56.2 MB XMark document). The generator is deterministic for a given
+// seed and scales linearly with the Scale factor, which is what the
+// scaling experiments (Figures 10–12) sweep.
+//
+// This is a faithful stand-in, not a byte-level XMark clone: the element
+// vocabulary, attribute names, nesting structure and approximate fan-outs
+// follow the XMark DTD; text payloads are synthetic. The paper's
+// experiments depend only on structure and relative sizes.
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xpathviews/internal/xmltree"
+)
+
+// Config controls generation.
+type Config struct {
+	// Scale 1.0 produces roughly 70k element nodes (about 4–5 MB of XML);
+	// the paper's 56.2 MB document corresponds to Scale ≈ 12.
+	Scale float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// regions of the XMark DTD.
+var regionNames = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// Generate builds a document.
+func Generate(cfg Config) *xmltree.Tree {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &gen{r: r}
+	nItems := scaled(cfg.Scale, 2000)
+	nPeople := scaled(cfg.Scale, 1000)
+	nOpen := scaled(cfg.Scale, 1200)
+	nClosed := scaled(cfg.Scale, 600)
+	nCats := scaled(cfg.Scale, 100)
+
+	t := xmltree.New("site")
+	site := t.Root()
+
+	regions := t.AddChild(site, "regions")
+	for ri, name := range regionNames {
+		region := t.AddChild(regions, name)
+		count := nItems / len(regionNames)
+		if ri < nItems%len(regionNames) {
+			count++
+		}
+		for i := 0; i < count; i++ {
+			g.item(t, region, nCats)
+		}
+	}
+
+	cats := t.AddChild(site, "categories")
+	for i := 0; i < nCats; i++ {
+		c := t.AddChild(cats, "category")
+		c.SetAttr("id", fmt.Sprintf("category%d", i))
+		t.AddChild(c, "name").Text = g.word()
+		g.description(t, c)
+	}
+
+	graph := t.AddChild(site, "catgraph")
+	for i := 0; i < nCats; i++ {
+		e := t.AddChild(graph, "edge")
+		e.SetAttr("from", fmt.Sprintf("category%d", g.r.Intn(nCats)))
+		e.SetAttr("to", fmt.Sprintf("category%d", g.r.Intn(nCats)))
+	}
+
+	people := t.AddChild(site, "people")
+	for i := 0; i < nPeople; i++ {
+		g.person(t, people, i, nCats)
+	}
+
+	open := t.AddChild(site, "open_auctions")
+	for i := 0; i < nOpen; i++ {
+		g.openAuction(t, open, i, nItems, nPeople, nCats)
+	}
+
+	closed := t.AddChild(site, "closed_auctions")
+	for i := 0; i < nClosed; i++ {
+		g.closedAuction(t, closed, nItems, nPeople)
+	}
+
+	t.Renumber()
+	return t
+}
+
+func scaled(scale float64, base int) int {
+	n := int(scale * float64(base))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+type gen struct {
+	r      *rand.Rand
+	itemID int
+}
+
+var words = []string{
+	"gold", "silver", "amber", "quartz", "willow", "cedar", "harbor",
+	"meadow", "summit", "valley", "ember", "frost", "gale", "ivory",
+}
+
+func (g *gen) word() string { return words[g.r.Intn(len(words))] }
+
+func (g *gen) item(t *xmltree.Tree, region *xmltree.Node, nCats int) {
+	item := t.AddChild(region, "item")
+	item.SetAttr("id", fmt.Sprintf("item%d", g.itemID))
+	g.itemID++
+	if g.r.Intn(10) == 0 {
+		item.SetAttr("featured", "yes")
+	}
+	t.AddChild(item, "location").Text = g.word()
+	t.AddChild(item, "quantity").Text = fmt.Sprintf("%d", 1+g.r.Intn(5))
+	t.AddChild(item, "name").Text = g.word()
+	t.AddChild(item, "payment").Text = "Cash"
+	g.description(t, item)
+	t.AddChild(item, "shipping").Text = "Will ship internationally"
+	for k := g.r.Intn(3); k >= 0; k-- {
+		in := t.AddChild(item, "incategory")
+		in.SetAttr("category", fmt.Sprintf("category%d", g.r.Intn(nCats)))
+	}
+	mailbox := t.AddChild(item, "mailbox")
+	for k := g.r.Intn(3); k > 0; k-- {
+		mail := t.AddChild(mailbox, "mail")
+		t.AddChild(mail, "from").Text = g.word()
+		t.AddChild(mail, "to").Text = g.word()
+		t.AddChild(mail, "date").Text = g.date()
+		g.text(t, mail)
+	}
+}
+
+func (g *gen) description(t *xmltree.Tree, parent *xmltree.Node) {
+	d := t.AddChild(parent, "description")
+	if g.r.Intn(4) == 0 {
+		pl := t.AddChild(d, "parlist")
+		for k := 1 + g.r.Intn(2); k > 0; k-- {
+			li := t.AddChild(pl, "listitem")
+			g.text(t, li)
+		}
+		return
+	}
+	g.text(t, d)
+}
+
+func (g *gen) text(t *xmltree.Tree, parent *xmltree.Node) {
+	tx := t.AddChild(parent, "text")
+	tx.Text = g.word() + " " + g.word()
+	switch g.r.Intn(5) {
+	case 0:
+		t.AddChild(tx, "bold").Text = g.word()
+	case 1:
+		t.AddChild(tx, "keyword").Text = g.word()
+	case 2:
+		t.AddChild(tx, "emph").Text = g.word()
+	}
+}
+
+func (g *gen) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+g.r.Intn(12), 1+g.r.Intn(28), 1998+g.r.Intn(5))
+}
+
+func (g *gen) person(t *xmltree.Tree, people *xmltree.Node, i, nCats int) {
+	p := t.AddChild(people, "person")
+	p.SetAttr("id", fmt.Sprintf("person%d", i))
+	t.AddChild(p, "name").Text = g.word() + " " + g.word()
+	t.AddChild(p, "emailaddress").Text = "mailto:" + g.word() + "@example.com"
+	if g.r.Intn(2) == 0 {
+		t.AddChild(p, "phone").Text = fmt.Sprintf("+1 (%d) %d", 100+g.r.Intn(900), g.r.Intn(10000000))
+	}
+	if g.r.Intn(4) < 3 {
+		addr := t.AddChild(p, "address")
+		t.AddChild(addr, "street").Text = fmt.Sprintf("%d %s St", 1+g.r.Intn(99), g.word())
+		t.AddChild(addr, "city").Text = g.word()
+		t.AddChild(addr, "country").Text = "United States"
+		t.AddChild(addr, "zipcode").Text = fmt.Sprintf("%05d", g.r.Intn(100000))
+	}
+	if g.r.Intn(3) == 0 {
+		t.AddChild(p, "homepage").Text = "http://example.com/~" + g.word()
+	}
+	if g.r.Intn(4) == 0 {
+		t.AddChild(p, "creditcard").Text = fmt.Sprintf("%d %d %d %d", 1000+g.r.Intn(9000), 1000+g.r.Intn(9000), 1000+g.r.Intn(9000), 1000+g.r.Intn(9000))
+	}
+	if g.r.Intn(3) < 2 {
+		prof := t.AddChild(p, "profile")
+		prof.SetAttr("income", fmt.Sprintf("%d", 20000+g.r.Intn(80000)))
+		for k := g.r.Intn(3); k > 0; k-- {
+			in := t.AddChild(prof, "interest")
+			in.SetAttr("category", fmt.Sprintf("category%d", g.r.Intn(nCats)))
+		}
+		if g.r.Intn(2) == 0 {
+			t.AddChild(prof, "education").Text = "Graduate School"
+		}
+		if g.r.Intn(2) == 0 {
+			t.AddChild(prof, "gender").Text = "male"
+		}
+		t.AddChild(prof, "business").Text = "Yes"
+		if g.r.Intn(3) < 2 {
+			t.AddChild(prof, "age").Text = fmt.Sprintf("%d", 18+g.r.Intn(50))
+		}
+	}
+	if g.r.Intn(5) < 2 {
+		w := t.AddChild(p, "watches")
+		for k := 1 + g.r.Intn(2); k > 0; k-- {
+			watch := t.AddChild(w, "watch")
+			watch.SetAttr("open_auction", fmt.Sprintf("open_auction%d", g.r.Intn(100)))
+		}
+	}
+}
+
+func (g *gen) openAuction(t *xmltree.Tree, open *xmltree.Node, i, nItems, nPeople, nCats int) {
+	oa := t.AddChild(open, "open_auction")
+	oa.SetAttr("id", fmt.Sprintf("open_auction%d", i))
+	t.AddChild(oa, "initial").Text = fmt.Sprintf("%d.%02d", 1+g.r.Intn(300), g.r.Intn(100))
+	if g.r.Intn(2) == 0 {
+		t.AddChild(oa, "reserve").Text = fmt.Sprintf("%d.00", 10+g.r.Intn(500))
+	}
+	for k := g.r.Intn(4); k > 0; k-- {
+		b := t.AddChild(oa, "bidder")
+		t.AddChild(b, "date").Text = g.date()
+		t.AddChild(b, "time").Text = fmt.Sprintf("%02d:%02d:%02d", g.r.Intn(24), g.r.Intn(60), g.r.Intn(60))
+		pr := t.AddChild(b, "personref")
+		pr.SetAttr("person", fmt.Sprintf("person%d", g.r.Intn(nPeople)))
+		t.AddChild(b, "increase").Text = fmt.Sprintf("%d.00", 1+g.r.Intn(20))
+	}
+	t.AddChild(oa, "current").Text = fmt.Sprintf("%d.00", 5+g.r.Intn(600))
+	if g.r.Intn(5) == 0 {
+		t.AddChild(oa, "privacy").Text = "Yes"
+	}
+	ir := t.AddChild(oa, "itemref")
+	ir.SetAttr("item", fmt.Sprintf("item%d", g.r.Intn(nItems)))
+	se := t.AddChild(oa, "seller")
+	se.SetAttr("person", fmt.Sprintf("person%d", g.r.Intn(nPeople)))
+	g.annotation(t, oa, nPeople)
+	t.AddChild(oa, "quantity").Text = "1"
+	t.AddChild(oa, "type").Text = "Regular"
+	iv := t.AddChild(oa, "interval")
+	t.AddChild(iv, "start").Text = g.date()
+	t.AddChild(iv, "end").Text = g.date()
+}
+
+func (g *gen) annotation(t *xmltree.Tree, parent *xmltree.Node, nPeople int) {
+	an := t.AddChild(parent, "annotation")
+	au := t.AddChild(an, "author")
+	au.SetAttr("person", fmt.Sprintf("person%d", g.r.Intn(nPeople)))
+	g.description(t, an)
+	t.AddChild(an, "happiness").Text = fmt.Sprintf("%d", 1+g.r.Intn(10))
+}
+
+func (g *gen) closedAuction(t *xmltree.Tree, closed *xmltree.Node, nItems, nPeople int) {
+	ca := t.AddChild(closed, "closed_auction")
+	se := t.AddChild(ca, "seller")
+	se.SetAttr("person", fmt.Sprintf("person%d", g.r.Intn(nPeople)))
+	bu := t.AddChild(ca, "buyer")
+	bu.SetAttr("person", fmt.Sprintf("person%d", g.r.Intn(nPeople)))
+	ir := t.AddChild(ca, "itemref")
+	ir.SetAttr("item", fmt.Sprintf("item%d", g.r.Intn(nItems)))
+	t.AddChild(ca, "price").Text = fmt.Sprintf("%d.00", 5+g.r.Intn(600))
+	t.AddChild(ca, "date").Text = g.date()
+	t.AddChild(ca, "quantity").Text = "1"
+	t.AddChild(ca, "type").Text = "Regular"
+	g.annotation(t, ca, nPeople)
+}
+
+// Schema returns the element vocabulary as a parent → children adjacency
+// used by the workload generator's random walks. It mirrors what the
+// generator above can emit.
+func Schema() map[string][]string {
+	return map[string][]string{
+		"site":            {"regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"},
+		"regions":         regionNames,
+		"africa":          {"item"},
+		"asia":            {"item"},
+		"australia":       {"item"},
+		"europe":          {"item"},
+		"namerica":        {"item"},
+		"samerica":        {"item"},
+		"item":            {"location", "quantity", "name", "payment", "description", "shipping", "incategory", "mailbox"},
+		"description":     {"text", "parlist"},
+		"parlist":         {"listitem"},
+		"listitem":        {"text"},
+		"text":            {"bold", "keyword", "emph"},
+		"mailbox":         {"mail"},
+		"mail":            {"from", "to", "date", "text"},
+		"categories":      {"category"},
+		"category":        {"name", "description"},
+		"catgraph":        {"edge"},
+		"people":          {"person"},
+		"person":          {"name", "emailaddress", "phone", "address", "homepage", "creditcard", "profile", "watches"},
+		"address":         {"street", "city", "country", "zipcode"},
+		"profile":         {"interest", "education", "gender", "business", "age"},
+		"watches":         {"watch"},
+		"open_auctions":   {"open_auction"},
+		"open_auction":    {"initial", "reserve", "bidder", "current", "privacy", "itemref", "seller", "annotation", "quantity", "type", "interval"},
+		"bidder":          {"date", "time", "personref", "increase"},
+		"annotation":      {"author", "description", "happiness"},
+		"interval":        {"start", "end"},
+		"closed_auctions": {"closed_auction"},
+		"closed_auction":  {"seller", "buyer", "itemref", "price", "date", "quantity", "type", "annotation"},
+	}
+}
+
+// Attributes returns the attribute names each element may carry, for
+// generating attribute predicates.
+func Attributes() map[string][]string {
+	return map[string][]string{
+		"item":         {"id", "featured"},
+		"person":       {"id"},
+		"open_auction": {"id"},
+		"category":     {"id"},
+		"incategory":   {"category"},
+		"interest":     {"category"},
+		"itemref":      {"item"},
+		"personref":    {"person"},
+		"seller":       {"person"},
+		"buyer":        {"person"},
+		"author":       {"person"},
+		"watch":        {"open_auction"},
+		"edge":         {"from", "to"},
+		"profile":      {"income"},
+	}
+}

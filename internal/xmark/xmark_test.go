@@ -1,0 +1,128 @@
+package xmark_test
+
+import (
+	"testing"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xmltree"
+	"xpathviews/internal/xpath"
+)
+
+func TestGenerateShape(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.1, Seed: 1})
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root()
+	if root.Label != "site" || len(root.Children) != 6 {
+		t.Fatalf("root = %s with %d children", root.Label, len(root.Children))
+	}
+	// All six top-level sections present in order.
+	want := []string{"regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"}
+	for i, w := range want {
+		if root.Children[i].Label != w {
+			t.Fatalf("section %d = %s, want %s", i, root.Children[i].Label, w)
+		}
+	}
+	// Key entity counts scale.
+	idx := engine.BuildLabelIndex(doc)
+	if idx.Count("item") != 200 || idx.Count("person") != 100 ||
+		idx.Count("open_auction") != 120 || idx.Count("closed_auction") != 60 {
+		t.Fatalf("entity counts off: items=%d people=%d oa=%d ca=%d",
+			idx.Count("item"), idx.Count("person"), idx.Count("open_auction"), idx.Count("closed_auction"))
+	}
+}
+
+func TestDeterministicAndScales(t *testing.T) {
+	a := xmark.Generate(xmark.Config{Scale: 0.05, Seed: 9})
+	b := xmark.Generate(xmark.Config{Scale: 0.05, Seed: 9})
+	if a.Size() != b.Size() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Size(), b.Size())
+	}
+	big := xmark.Generate(xmark.Config{Scale: 0.2, Seed: 9})
+	if big.Size() < 3*a.Size() {
+		t.Fatalf("scale 4x grew only %d -> %d", a.Size(), big.Size())
+	}
+}
+
+// TestSchemaCoversDocument: every parent→child edge in a generated
+// document appears in Schema() — the workload generator depends on it.
+func TestSchemaCoversDocument(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.1, Seed: 5})
+	schema := xmark.Schema()
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.Parent == nil {
+			return true
+		}
+		ok := false
+		for _, c := range schema[n.Parent.Label] {
+			if c == n.Label {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("edge %s -> %s missing from Schema()", n.Parent.Label, n.Label)
+		}
+		return true
+	})
+}
+
+// TestAttributesCoverDocument: same for attribute names.
+func TestAttributesCoverDocument(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.1, Seed: 5})
+	attrs := xmark.Attributes()
+	doc.Walk(func(n *xmltree.Node) bool {
+		for name := range n.Attributes {
+			ok := false
+			for _, a := range attrs[n.Label] {
+				if a == name {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("attribute %s@%s missing from Attributes()", n.Label, name)
+			}
+		}
+		return true
+	})
+}
+
+// TestEncodable: XMark documents encode under extended Dewey and decode
+// back (the whole pipeline depends on it).
+func TestEncodable(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.05, Seed: 13})
+	enc, fst, err := dewey.EncodeTree(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := doc.Nodes()[doc.Size()-1]
+	code := enc.MustCode(n)
+	path, err := fst.Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != n.Depth()+1 {
+		t.Fatalf("decoded path length %d, want %d", len(path), n.Depth()+1)
+	}
+}
+
+// TestTypicalQueriesPositive: the reconstructed Table III queries have
+// non-empty results on a default-scale document.
+func TestTypicalQueriesPositive(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.3, Seed: 2008})
+	idx := engine.BuildLabelIndex(doc)
+	for _, q := range []string{
+		"//site//closed_auction[buyer]/annotation/happiness",
+		"//person[address/city]/name",
+		"//open_auctions/open_auction[interval/start]/bidder/increase",
+		"//people/person[profile/age][watches]/address/city",
+	} {
+		if len(engine.AnswersFast(doc, idx, xpath.MustParse(q))) == 0 {
+			t.Errorf("query %s is empty on the benchmark document", q)
+		}
+	}
+}

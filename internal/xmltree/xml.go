@@ -1,0 +1,159 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and builds a Tree. Only element
+// structure, attributes and character data are kept; comments, processing
+// instructions and namespaces prefixes are discarded (labels use the local
+// name, matching the paper's single-alphabet model).
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Label: el.Name.Local}
+			for _, a := range el.Attr {
+				n.SetAttr(a.Name.Local, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple document roots (%q, %q)", root.Label, n.Label)
+				}
+				root = n
+			} else {
+				p := stack[len(stack)-1]
+				n.Parent = p
+				p.Children = append(p.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				if s := strings.TrimSpace(string(el)); s != "" {
+					top := stack[len(stack)-1]
+					top.Text += s
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: %d unterminated element(s)", len(stack))
+	}
+	t := FromRoot(root)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (*Tree, error) { return Parse(strings.NewReader(s)) }
+
+// WriteXML serializes the subtree rooted at n as XML to w. Attributes are
+// emitted in sorted order for determinism.
+func WriteXML(w io.Writer, n *Node) error {
+	enc := xml.NewEncoder(w)
+	if err := encodeNode(enc, n); err != nil {
+		return fmt.Errorf("xmltree: serialize: %w", err)
+	}
+	if err := enc.Flush(); err != nil {
+		return fmt.Errorf("xmltree: serialize: %w", err)
+	}
+	return nil
+}
+
+func encodeNode(enc *xml.Encoder, n *Node) error {
+	start := xml.StartElement{Name: xml.Name{Local: n.Label}}
+	if len(n.Attributes) > 0 {
+		names := make([]string, 0, len(n.Attributes))
+		for k := range n.Attributes {
+			names = append(names, k)
+		}
+		// insertion sort: attribute maps are tiny
+		for i := 1; i < len(names); i++ {
+			for j := i; j > 0 && names[j] < names[j-1]; j-- {
+				names[j], names[j-1] = names[j-1], names[j]
+			}
+		}
+		for _, k := range names {
+			start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: k}, Value: n.Attributes[k]})
+		}
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if n.Text != "" {
+		if err := enc.EncodeToken(xml.CharData(n.Text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := encodeNode(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(xml.EndElement{Name: start.Name})
+}
+
+// MarshalString renders the subtree rooted at n as an XML string.
+func MarshalString(n *Node) (string, error) {
+	var b strings.Builder
+	if err := WriteXML(&b, n); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// SerializedSize returns the number of bytes the subtree rooted at n
+// occupies when serialized as XML, computed analytically (tags,
+// attributes, text) without running the encoder. It is used to enforce
+// the paper's per-view materialized-fragment size limit (128 KB in §VI);
+// EncodedSize is the exact encoder-backed variant.
+func SerializedSize(n *Node) int {
+	// <label a="v">text</label> → 2*len(label) + 5 + Σ(len(k)+len(v)+4) + len(text)
+	size := 2*len(n.Label) + 5 + len(n.Text)
+	for k, v := range n.Attributes {
+		size += len(k) + len(v) + 4
+	}
+	for _, c := range n.Children {
+		size += SerializedSize(c)
+	}
+	return size
+}
+
+// EncodedSize returns the exact size WriteXML would produce.
+func EncodedSize(n *Node) int {
+	var c countingWriter
+	if err := WriteXML(&c, n); err != nil {
+		return 0
+	}
+	return int(c)
+}
+
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}

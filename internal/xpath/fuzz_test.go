@@ -1,0 +1,37 @@
+package xpath_test
+
+import (
+	"testing"
+
+	"xpathviews/internal/xpath"
+)
+
+// FuzzParse checks that the parser never panics and that accepted inputs
+// survive a String→Parse round trip. The seed corpus runs in normal
+// `go test`; `go test -fuzz=FuzzParse ./internal/xpath` explores further.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/a", "//a//b", "//s[f//i][t]/p", "//a[*//t]//p", "//item[@id=1]/name",
+		"//a[@x<'v']", "//*[b][c]/d", "/a[b[c]/d]//e", "//a[.//b]",
+		"//a[", "///", "//@", "a/b", "//a]b", "//a[@x!'3']", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := xpath.Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted %q but produced invalid pattern: %v", src, err)
+		}
+		s := p.String()
+		back, err := xpath.Parse(s)
+		if err != nil {
+			t.Fatalf("accepted %q but String() = %q does not re-parse: %v", src, s, err)
+		}
+		if !p.Equal(back) {
+			t.Fatalf("round trip changed pattern: %q → %q", src, s)
+		}
+	})
+}

@@ -1,0 +1,276 @@
+// Package xpath parses the XPath fragment studied in the paper — child
+// axis '/', descendant axis '//', wildcard '*', branches '[...]' — plus
+// the attribute comparison predicates of §V, into tree patterns
+// (pattern.Pattern). The answer node is the last step of the main path.
+//
+// Grammar (no whitespace sensitivity):
+//
+//	query     := axis step (axis step)*
+//	axis      := "/" | "//"
+//	step      := nametest pred*
+//	nametest  := NAME | "*"
+//	pred      := "[" (attrPred | relPath) "]"
+//	attrPred  := "@" NAME (op literal)?
+//	op        := "=" | "!=" | "<" | "<=" | ">" | ">="
+//	literal   := NUMBER | "'" chars "'" | '"' chars '"'
+//	relPath   := ("." axis step | step) (axis step)*
+//
+// A relative path's first step defaults to the child axis ("[t]" means
+// "has a child t"); "[.//i]" means "has a descendant i".
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"xpathviews/internal/pattern"
+)
+
+// Parse parses an absolute XPath query into a tree pattern.
+func Parse(input string) (*pattern.Pattern, error) {
+	p := &parser{src: input}
+	pat, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("xpath: parse %q: %w", input, err)
+	}
+	if err := pat.Validate(); err != nil {
+		return nil, fmt.Errorf("xpath: parse %q: %w", input, err)
+	}
+	return pat, nil
+}
+
+// MustParse is Parse for known-good inputs; it panics on error.
+func MustParse(input string) *pattern.Pattern {
+	pat, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return pat
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// axis consumes "/" or "//" and reports which; ok is false when the next
+// character is not a slash.
+func (p *parser) axis() (pattern.Axis, bool) {
+	p.skipSpace()
+	if p.eof() || p.src[p.pos] != '/' {
+		return pattern.Child, false
+	}
+	p.pos++
+	if !p.eof() && p.src[p.pos] == '/' {
+		p.pos++
+		return pattern.Descendant, true
+	}
+	return pattern.Child, true
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *parser) name() (string, error) {
+	p.skipSpace()
+	if !p.eof() && p.src[p.pos] == '*' {
+		p.pos++
+		return pattern.Wildcard, nil
+	}
+	start := p.pos
+	for !p.eof() && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected name at offset %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseQuery() (*pattern.Pattern, error) {
+	ax, ok := p.axis()
+	if !ok {
+		return nil, fmt.Errorf("query must be absolute (start with / or //)")
+	}
+	root, err := p.parseStepInto(nil, ax)
+	if err != nil {
+		return nil, err
+	}
+	cur := root
+	for {
+		ax, ok := p.axis()
+		if !ok {
+			break
+		}
+		cur, err = p.parseStepInto(cur, ax)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return &pattern.Pattern{Root: root, Ret: cur}, nil
+}
+
+// parseStepInto parses one step and attaches it under parent (nil for the
+// root), returning the new node.
+func (p *parser) parseStepInto(parent *pattern.Node, ax pattern.Axis) (*pattern.Node, error) {
+	label, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	var n *pattern.Node
+	if parent == nil {
+		n = pattern.NewNode(label, ax)
+	} else {
+		n = parent.AddChild(label, ax)
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '[' {
+			return n, nil
+		}
+		p.pos++ // consume '['
+		if err := p.parsePredicate(n); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ']' {
+			return nil, fmt.Errorf("expected ] at offset %d", p.pos)
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parsePredicate(owner *pattern.Node) error {
+	p.skipSpace()
+	if p.peek() == '@' {
+		return p.parseAttrPred(owner)
+	}
+	// Relative path predicate. Determine the first axis.
+	ax := pattern.Child
+	if p.peek() == '.' {
+		p.pos++
+		a, ok := p.axis()
+		if !ok {
+			return fmt.Errorf("expected axis after '.' at offset %d", p.pos)
+		}
+		ax = a
+	} else if p.peek() == '/' {
+		// allow [//x] as a (nonstandard but unambiguous) descendant form
+		a, _ := p.axis()
+		ax = a
+	}
+	cur, err := p.parseStepInto(owner, ax)
+	if err != nil {
+		return err
+	}
+	for {
+		a, ok := p.axis()
+		if !ok {
+			return nil
+		}
+		cur, err = p.parseStepInto(cur, a)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseAttrPred(owner *pattern.Node) error {
+	p.pos++ // consume '@'
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	if name == pattern.Wildcard {
+		return fmt.Errorf("attribute name cannot be a wildcard")
+	}
+	p.skipSpace()
+	op := pattern.AttrExists
+	switch p.peek() {
+	case '=':
+		p.pos++
+		op = pattern.AttrEq
+	case '!':
+		p.pos++
+		if p.peek() != '=' {
+			return fmt.Errorf("expected '=' after '!' at offset %d", p.pos)
+		}
+		p.pos++
+		op = pattern.AttrNe
+	case '<':
+		p.pos++
+		op = pattern.AttrLt
+		if p.peek() == '=' {
+			p.pos++
+			op = pattern.AttrLe
+		}
+	case '>':
+		p.pos++
+		op = pattern.AttrGt
+		if p.peek() == '=' {
+			p.pos++
+			op = pattern.AttrGe
+		}
+	}
+	if op == pattern.AttrExists {
+		owner.Attrs = append(owner.Attrs, pattern.AttrPred{Name: name, Op: op})
+		return nil
+	}
+	val, err := p.literal()
+	if err != nil {
+		return err
+	}
+	owner.Attrs = append(owner.Attrs, pattern.AttrPred{Name: name, Op: op, Value: val})
+	return nil
+}
+
+func (p *parser) literal() (string, error) {
+	p.skipSpace()
+	if p.eof() {
+		return "", fmt.Errorf("expected literal at end of input")
+	}
+	switch q := p.peek(); q {
+	case '\'', '"':
+		p.pos++
+		end := strings.IndexByte(p.src[p.pos:], q)
+		if end < 0 {
+			return "", fmt.Errorf("unterminated string literal at offset %d", p.pos)
+		}
+		v := p.src[p.pos : p.pos+end]
+		p.pos += end + 1
+		return v, nil
+	default:
+		start := p.pos
+		if p.peek() == '-' {
+			p.pos++
+		}
+		for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == start || (p.src[start] == '-' && p.pos == start+1) {
+			return "", fmt.Errorf("expected literal at offset %d", start)
+		}
+		return p.src[start:p.pos], nil
+	}
+}

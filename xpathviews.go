@@ -1,0 +1,345 @@
+// Package xpathviews answers XPath queries using multiple materialized
+// views, implementing Tang, Yu, Özsu, Choi and Wong, "Multiple
+// Materialized View Selection for XPath Query Rewriting" (ICDE 2008).
+//
+// The library covers the paper's full pipeline:
+//
+//   - materialized views over an XML document, with extended-Dewey-coded
+//     fragments (§II);
+//   - VFILTER, an NFA over decomposed + normalized view path patterns
+//     that prunes views which cannot answer a query (§III);
+//   - leaf-cover based multiple view/query answerability, exact minimum
+//     selection and the greedy heuristic of Algorithm 2 (§IV);
+//   - equivalent rewriting: per-view compensating refinement, a holistic
+//     join of fragment roots on Dewey codes (no base-data access), and
+//     answer extraction (§V);
+//   - the evaluation baselines BN and BF of §VI.
+//
+// Basic use:
+//
+//	sys, _ := xpathviews.OpenXMLString(doc)
+//	sys.AddView("//open_auction[bidder]/seller", xpathviews.DefaultFragmentLimit)
+//	res, _ := sys.Answer("//open_auction[bidder[increase]]/seller", xpathviews.HV)
+//	for _, a := range res.Answers { fmt.Println(a.Code) }
+package xpathviews
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/rewrite"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/vfilter"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xmltree"
+	"xpathviews/internal/xpath"
+)
+
+// DefaultFragmentLimit re-exports the paper's 128 KB per-view cap.
+const DefaultFragmentLimit = views.DefaultFragmentLimit
+
+// Strategy selects how a query is answered; the names follow §VI.
+type Strategy int
+
+const (
+	// BN evaluates directly on the document, navigationally ("basic
+	// node index").
+	BN Strategy = iota
+	// BF evaluates directly with full index support.
+	BF
+	// MN selects the minimum view set without VFILTER (homomorphisms
+	// against every view) and rewrites.
+	MN
+	// MV selects the minimum view set among VFILTER's candidates and
+	// rewrites.
+	MV
+	// HV runs the heuristic selection (Algorithm 2) on VFILTER's
+	// candidates and rewrites.
+	HV
+	// CV runs the cost-based selection (§IV-B's omitted cost model,
+	// implemented here) on VFILTER's candidates and rewrites.
+	CV
+)
+
+var strategyNames = [...]string{"BN", "BF", "MN", "MV", "HV", "CV"}
+
+func (s Strategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ErrNotAnswerable re-exports the selection failure.
+var ErrNotAnswerable = selection.ErrNotAnswerable
+
+// System owns a document, its encoding, its materialized views and the
+// view filter.
+type System struct {
+	doc      *xmltree.Tree
+	enc      *dewey.Encoding
+	fst      *dewey.FST
+	registry *views.Registry
+	filter   *vfilter.Filter
+
+	bn *engine.BN
+	bf *engine.BF
+}
+
+// Open prepares a system over an in-memory document, deriving the FST
+// from the document itself (alphabetical child alphabets).
+func Open(doc *xmltree.Tree) (*System, error) {
+	fst := dewey.BuildFST(doc)
+	return OpenWithFST(doc, fst)
+}
+
+// OpenWithFST prepares a system using a caller-supplied FST, e.g. one
+// built from a schema with a specific child-alphabet order (the paper's
+// Figure 3 codes depend on the order).
+func OpenWithFST(doc *xmltree.Tree, fst *dewey.FST) (*System, error) {
+	enc, err := dewey.Encode(doc, fst)
+	if err != nil {
+		return nil, fmt.Errorf("xpathviews: %w", err)
+	}
+	return &System{
+		doc:      doc,
+		enc:      enc,
+		fst:      fst,
+		registry: views.NewRegistry(doc, enc),
+		filter:   vfilter.New(),
+		bn:       engine.NewBN(doc),
+	}, nil
+}
+
+// OpenXML parses an XML document and prepares a system over it.
+func OpenXML(r io.Reader) (*System, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return Open(doc)
+}
+
+// OpenXMLString is OpenXML over a string.
+func OpenXMLString(s string) (*System, error) { return OpenXML(strings.NewReader(s)) }
+
+// Document returns the underlying tree.
+func (s *System) Document() *xmltree.Tree { return s.doc }
+
+// Encoding returns the document's extended Dewey encoding.
+func (s *System) Encoding() *dewey.Encoding { return s.enc }
+
+// FST returns the decoding transducer.
+func (s *System) FST() *dewey.FST { return s.fst }
+
+// Filter exposes the underlying VFILTER (read-mostly).
+func (s *System) Filter() *vfilter.Filter { return s.filter }
+
+// Registry exposes the materialized view registry.
+func (s *System) Registry() *views.Registry { return s.registry }
+
+// AddView parses, minimizes, materializes and indexes a view. limit caps
+// the materialized bytes (0 = unlimited; DefaultFragmentLimit = paper's
+// 128 KB). It returns the view's ID.
+func (s *System) AddView(src string, limit int) (int, error) {
+	p, err := xpath.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	return s.AddViewPattern(p, limit)
+}
+
+// AddViewPattern is AddView for already-parsed patterns.
+func (s *System) AddViewPattern(p *pattern.Pattern, limit int) (int, error) {
+	v, err := s.registry.Add(p, limit)
+	if err != nil {
+		return 0, err
+	}
+	s.filter.AddView(v.ID, v.Pattern)
+	return v.ID, nil
+}
+
+// NumViews returns the number of live materialized views.
+func (s *System) NumViews() int { return s.registry.Len() }
+
+// RemoveView drops a materialized view from both the registry and the
+// filter, freeing its fragment storage for other views (IDs are not
+// reused). Returns false for unknown IDs.
+func (s *System) RemoveView(id int) bool {
+	a := s.registry.Remove(id)
+	b := s.filter.RemoveView(id)
+	return a && b
+}
+
+// CompactFilter rebuilds the VFILTER from the live views, reclaiming
+// trie states left behind by RemoveView. Attribute pruning state is
+// preserved.
+func (s *System) CompactFilter() {
+	nf := vfilter.New()
+	if s.filter.AttrPruningEnabled() {
+		nf.EnableAttributePruning()
+	}
+	for _, v := range s.registry.Views() {
+		nf.AddView(v.ID, v.Pattern)
+	}
+	s.filter = nf
+}
+
+// Answer is one query result.
+type Answer struct {
+	// Code is the answer node's extended Dewey code.
+	Code dewey.Code
+	// Node is the answer node: a document node for BN/BF, a fragment
+	// node for the view strategies.
+	Node *xmltree.Node
+}
+
+// Result reports a query's answers plus strategy metadata.
+type Result struct {
+	Strategy Strategy
+	Answers  []Answer
+	// ViewsUsed lists the IDs of the selected views (view strategies).
+	ViewsUsed []int
+	// CandidatesAfterFilter is |V'| (MV/HV only).
+	CandidatesAfterFilter int
+	// HomsComputed counts homomorphism computations during selection.
+	HomsComputed int
+}
+
+// Codes returns the sorted answer codes as strings.
+func (r *Result) Codes() []string {
+	out := make([]string, len(r.Answers))
+	for i, a := range r.Answers {
+		out[i] = a.Code.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Answer evaluates the query under the chosen strategy.
+func (s *System) Answer(src string, strat Strategy) (*Result, error) {
+	q, err := xpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.AnswerPattern(q, strat)
+}
+
+// AnswerPattern is Answer for already-parsed queries.
+func (s *System) AnswerPattern(q *pattern.Pattern, strat Strategy) (*Result, error) {
+	q = pattern.Minimize(q)
+	res := &Result{Strategy: strat}
+	switch strat {
+	case BN:
+		s.collectDoc(res, s.bn.Eval(q))
+		return res, nil
+	case BF:
+		if s.bf == nil {
+			s.bf = engine.NewBF(s.doc)
+		}
+		s.collectDoc(res, s.bf.Eval(q))
+		return res, nil
+	case MN, MV, HV, CV:
+		sel, cand, err := s.Select(q, strat)
+		if err != nil {
+			return nil, err
+		}
+		res.CandidatesAfterFilter = cand
+		res.HomsComputed = sel.HomsComputed
+		for _, c := range sel.Covers {
+			res.ViewsUsed = append(res.ViewsUsed, c.View.ID)
+		}
+		out, err := rewrite.Execute(q, sel, s.fst)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range out.Answers {
+			res.Answers = append(res.Answers, Answer{Code: a.Code, Node: a.Node})
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("xpathviews: unknown strategy %v", strat)
+	}
+}
+
+// Select runs view selection only (the "lookup" of Figure 9), returning
+// the selection and the number of candidate views after filtering (the
+// registry size for MN).
+func (s *System) Select(q *pattern.Pattern, strat Strategy) (*selection.Selection, int, error) {
+	switch strat {
+	case MN:
+		sel, err := selection.Minimum(q, s.registry.Views())
+		return sel, s.registry.Len(), err
+	case MV:
+		fres := s.filter.Filtering(q)
+		cands := make([]*views.View, 0, len(fres.Candidates))
+		for _, id := range fres.Candidates {
+			cands = append(cands, s.registry.Get(id))
+		}
+		sel, err := selection.Minimum(q, cands)
+		return sel, len(fres.Candidates), err
+	case HV:
+		fres := s.filter.Filtering(q)
+		sel, err := selection.Heuristic(q, fres, s.registry)
+		return sel, len(fres.Candidates), err
+	case CV:
+		fres := s.filter.Filtering(q)
+		sel, err := selection.CostBased(q, fres, s.registry, selection.DefaultCostParams())
+		return sel, len(fres.Candidates), err
+	default:
+		return nil, 0, fmt.Errorf("xpathviews: %v is not a view strategy", strat)
+	}
+}
+
+// Filtering exposes raw VFILTER output for a query.
+func (s *System) Filtering(q *pattern.Pattern) *vfilter.Result {
+	return s.filter.Filtering(q)
+}
+
+// EnableAttributePruning activates the attribute-aware VFILTER extension
+// (§VII future work): view path patterns record the attribute names they
+// demand, and filtering rejects views whose demands the query cannot
+// satisfy. Must be called before the first AddView.
+func (s *System) EnableAttributePruning() {
+	s.filter.EnableAttributePruning()
+}
+
+// AnswerContained computes a contained (sound but possibly incomplete)
+// rewriting of the query — §VII's data-integration extension. Every
+// returned answer is a true answer; Complete reports when the set is
+// known to be exact. Unlike the equivalent strategies it never fails
+// with ErrNotAnswerable: an empty result simply means no view certifies
+// any answer.
+func (s *System) AnswerContained(src string) (*Result, bool, error) {
+	q, err := xpath.Parse(src)
+	if err != nil {
+		return nil, false, err
+	}
+	q = pattern.Minimize(q)
+	out := rewrite.Contained(q, s.registry.ViewList, s.fst)
+	res := &Result{Strategy: HV, ViewsUsed: out.ViewsUsed}
+	for _, a := range out.Answers {
+		res.Answers = append(res.Answers, Answer{Code: a.Code, Node: a.Node})
+	}
+	return res, out.Complete, nil
+}
+
+func (s *System) collectDoc(res *Result, nodes []*xmltree.Node) {
+	for _, n := range nodes {
+		code, _ := s.enc.CodeOf(n)
+		res.Answers = append(res.Answers, Answer{Code: code, Node: n})
+	}
+}
+
+// MarshalAnswer serializes one answer's subtree as XML.
+func MarshalAnswer(a Answer) (string, error) {
+	if a.Node == nil {
+		return "", fmt.Errorf("xpathviews: answer has no node")
+	}
+	return xmltree.MarshalString(a.Node)
+}
