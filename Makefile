@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race fuzz-smoke
+
+# check is the full local gate: static checks, build, the race-enabled
+# test suite, and a short fuzz smoke of the XPath parser.
+check: vet build race fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/xpath

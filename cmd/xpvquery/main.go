@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +28,12 @@ func (v *viewList) Set(s string) error { *v = append(*v, s); return nil }
 
 func main() {
 	docPath := flag.String("doc", "", "XML document to query (required)")
-	strategy := flag.String("strategy", "BF", "BN | BF | MN | MV | HV")
+	strategy := flag.String("strategy", "BF", "BN | BF | MN | MV | HV | CV")
 	limit := flag.Int("limit", xpathviews.DefaultFragmentLimit, "per-view fragment byte cap (0 = unlimited)")
 	maxShow := flag.Int("n", 20, "maximum answers to print (0 = all)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms (0 = none)")
+	maxAnswers := flag.Int("max-answers", 0, "truncate the result to this many answers (0 = all)")
+	resilient := flag.Bool("resilient", false, "answer via the fallback chain (HV -> MV -> contained -> BN), degrading instead of failing")
 	var viewSrcs viewList
 	flag.Var(&viewSrcs, "view", "materialize this view (repeatable)")
 	flag.Parse()
@@ -65,19 +69,43 @@ func main() {
 		strat = xpathviews.MV
 	case "HV":
 		strat = xpathviews.HV
+	case "CV":
+		strat = xpathviews.CV
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	res, err := sys.Answer(flag.Arg(0), strat)
+	opts := xpathviews.Options{
+		Strategy:   strat,
+		Timeout:    *timeout,
+		MaxAnswers: *maxAnswers,
+	}
+	var res *xpathviews.Result
+	if *resilient {
+		res, err = sys.AnswerResilient(context.Background(), flag.Arg(0), opts)
+	} else {
+		res, err = sys.AnswerContext(context.Background(), flag.Arg(0), opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%d answer(s) via %v", len(res.Answers), res.Strategy)
+	if res.Rung != "" {
+		fmt.Printf(" (rung %s)", res.Rung)
+	}
 	if len(res.ViewsUsed) > 0 {
 		fmt.Printf(" using views %v (candidates after filter: %d)", res.ViewsUsed, res.CandidatesAfterFilter)
 	}
+	if res.Partial {
+		fmt.Print(" [partial: contained rewriting]")
+	}
+	if res.Truncated {
+		fmt.Print(" [truncated]")
+	}
 	fmt.Println()
+	if res.Degraded {
+		fmt.Printf("degraded: %s\n", strings.Join(res.DegradedReasons, "; "))
+	}
 	for i, a := range res.Answers {
 		if *maxShow > 0 && i >= *maxShow {
 			fmt.Printf("... and %d more\n", len(res.Answers)-i)

@@ -1,0 +1,190 @@
+package xpathviews_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xpathviews"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xpath"
+)
+
+// TestConcurrentAnswerAndMutate is the acceptance race test: eight
+// goroutines answering while others add, remove and compact views. Every
+// answer must either succeed or fail ErrNotAnswerable (the view it
+// wanted was removed mid-flight) — and under -race the locking must hold.
+func TestConcurrentAnswerAndMutate(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.06, Seed: 51})
+	sys, err := xpathviews.Open(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []string{
+		"//person/address/city",
+		"//open_auction/interval/start",
+		"//closed_auction/price",
+		"//person/profile/age",
+		"//person[address]/name",
+	}
+	for _, v := range views {
+		if _, err := sys.AddView(v, xpathviews.DefaultFragmentLimit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		"//person/address/city",
+		"//person[address/city]/name",
+		"//closed_auction/price",
+		"//person/profile/age",
+	}
+
+	var wg sync.WaitGroup
+	// 8 answering goroutines across the serving entry points.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := queries[(g+i)%len(queries)]
+				var err error
+				switch g % 3 {
+				case 0:
+					_, err = sys.Answer(q, xpathviews.HV)
+				case 1:
+					_, err = sys.AnswerContext(context.Background(), q,
+						xpathviews.Options{Strategy: xpathviews.MV, MaxSteps: 1 << 20})
+				default:
+					_, err = sys.AnswerResilient(context.Background(), q, xpathviews.Options{})
+				}
+				if err != nil && !errors.Is(err, xpathviews.ErrNotAnswerable) &&
+					!errors.Is(err, xpathviews.ErrBudgetExceeded) {
+					t.Errorf("answer %s: %v", q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Mutators: churn a view in and out, and compact the filter.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			id, err := sys.AddView("//open_auction/bidder/increase", 0)
+			if err != nil {
+				t.Errorf("AddView: %v", err)
+				return
+			}
+			sys.RemoveView(id)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			sys.CompactFilter()
+			sys.NumViews()
+		}
+	}()
+	wg.Wait()
+
+	// The system must still answer correctly after the churn.
+	base, err := sys.Answer(queries[0], xpathviews.BF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Answer(queries[0], xpathviews.HV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(res.Codes(), ",") != strings.Join(base.Codes(), ",") {
+		t.Fatal("answers drifted after concurrent churn")
+	}
+}
+
+// TestCompactFilterEquivalence: after an add/remove sequence leaves
+// tombstones in the VFILTER NFA, compaction must not change any query's
+// candidate set.
+func TestCompactFilterEquivalence(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.05, Seed: 52})
+	sys, err := xpathviews.Open(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := []string{
+		"//person/address/city",
+		"//person[address]/name",
+		"//closed_auction/price",
+	}
+	for _, v := range keep {
+		if _, err := sys.AddView(v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var doomed []int
+	for _, v := range []string{
+		"//open_auction/bidder/increase",
+		"//open_auction/bidder[date]/increase",
+		"//person/profile[interest]/age",
+		"//item/location",
+		"//open_auction/interval/start",
+		"//person/name",
+	} {
+		id, err := sys.AddView(v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doomed = append(doomed, id)
+	}
+	for _, id := range doomed {
+		if !sys.RemoveView(id) {
+			t.Fatalf("RemoveView(%d) failed", id)
+		}
+	}
+
+	queries := []string{
+		"//person/address/city",
+		"//person[address/city]/name",
+		"//closed_auction/price",
+		"//open_auction/bidder/increase",
+		"//person/profile/age",
+	}
+	before := make([][]int, len(queries))
+	for i, src := range queries {
+		q, err := xpath.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = sys.Filtering(q).Candidates
+	}
+
+	sys.CompactFilter()
+
+	for i, src := range queries {
+		q, err := xpath.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := sys.Filtering(q).Candidates
+		if fmt.Sprint(after) != fmt.Sprint(before[i]) {
+			t.Errorf("%s: candidates changed across compaction: %v -> %v", src, before[i], after)
+		}
+	}
+
+	// Answers unchanged too.
+	for _, src := range queries[:3] {
+		base, err := sys.Answer(src, xpathviews.BF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Answer(src, xpathviews.HV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(res.Codes(), ",") != strings.Join(base.Codes(), ",") {
+			t.Fatalf("%s: answers drifted after compaction", src)
+		}
+	}
+}

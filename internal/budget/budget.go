@@ -1,0 +1,121 @@
+// Package budget provides cooperative cancellation and resource budgets
+// for the answering pipeline. A *B is threaded through the traversal and
+// enumeration loops of engine, vfilter, selection and rewrite; each loop
+// reports progress via Step (cheap work units) or Hom (homomorphism
+// computations, the cost driver of §IV) and aborts with a typed error
+// when the caller's context is done or a budget is exhausted.
+//
+// A nil *B is valid everywhere and means "unlimited, uncancellable" —
+// legacy entry points pass nil so the hot paths stay check-free.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBudget reports that a configured resource budget ran out before the
+// call completed. Use errors.Is: both step and homomorphism exhaustion
+// match it.
+var ErrBudget = errors.New("budget exceeded")
+
+// ErrSteps and ErrHoms identify which budget ran out; both wrap
+// ErrBudget.
+var (
+	ErrSteps = fmt.Errorf("step %w", ErrBudget)
+	ErrHoms  = fmt.Errorf("homomorphism %w", ErrBudget)
+)
+
+// checkInterval is how many steps pass between context polls. Steps are
+// cheap (a pointer chase or two), so polling every 256 keeps expired
+// contexts returning within microseconds without measurable overhead.
+const checkInterval = 256
+
+// B tracks one call's remaining budgets. It is owned by a single
+// goroutine (the query's); it must not be shared across goroutines.
+type B struct {
+	ctx        context.Context
+	stepBound  bool
+	steps      int64
+	homBound   bool
+	homs       int64
+	sinceCheck int64
+}
+
+// New builds a budget over ctx. maxSteps caps cheap work units, maxHoms
+// caps homomorphism computations; zero or negative means unlimited. A nil
+// ctx means context.Background().
+func New(ctx context.Context, maxSteps, maxHoms int64) *B {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &B{ctx: ctx}
+	if maxSteps > 0 {
+		b.stepBound = true
+		b.steps = maxSteps
+	}
+	if maxHoms > 0 {
+		b.homBound = true
+		b.homs = maxHoms
+	}
+	return b
+}
+
+// Step consumes n work units, returning ErrSteps when the step budget is
+// exhausted and the context's error when it is done. It polls the context
+// only every checkInterval units.
+func (b *B) Step(n int) error {
+	if b == nil {
+		return nil
+	}
+	if b.stepBound {
+		b.steps -= int64(n)
+		if b.steps < 0 {
+			return ErrSteps
+		}
+	}
+	b.sinceCheck += int64(n)
+	if b.sinceCheck >= checkInterval {
+		b.sinceCheck = 0
+		if err := b.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hom consumes one homomorphism computation. Homomorphisms are chunky
+// enough that the context is polled on every call.
+func (b *B) Hom() error {
+	if b == nil {
+		return nil
+	}
+	if err := b.ctx.Err(); err != nil {
+		return err
+	}
+	if b.homBound {
+		b.homs--
+		if b.homs < 0 {
+			return ErrHoms
+		}
+	}
+	return nil
+}
+
+// Err polls the context and the budgets without consuming anything.
+func (b *B) Err() error {
+	if b == nil {
+		return nil
+	}
+	if err := b.ctx.Err(); err != nil {
+		return err
+	}
+	if b.stepBound && b.steps <= 0 {
+		return ErrSteps
+	}
+	if b.homBound && b.homs <= 0 {
+		return ErrHoms
+	}
+	return nil
+}

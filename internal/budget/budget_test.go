@@ -1,0 +1,81 @@
+package budget_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xpathviews/internal/budget"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *budget.B
+	for i := 0; i < 10000; i++ {
+		if err := b.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Hom(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	b := budget.New(context.Background(), 10, 0)
+	for i := 0; i < 10; i++ {
+		if err := b.Step(1); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	err := b.Step(1)
+	if !errors.Is(err, budget.ErrBudget) || !errors.Is(err, budget.ErrSteps) {
+		t.Fatalf("exhausted step budget returned %v", err)
+	}
+	if err := b.Err(); !errors.Is(err, budget.ErrBudget) {
+		t.Fatalf("Err after exhaustion = %v", err)
+	}
+}
+
+func TestHomBudget(t *testing.T) {
+	b := budget.New(context.Background(), 0, 2)
+	if err := b.Hom(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Hom(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Hom(); !errors.Is(err, budget.ErrHoms) {
+		t.Fatalf("exhausted hom budget returned %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := budget.New(ctx, 0, 0)
+	cancel()
+	// Steps poll the context periodically: within one check interval the
+	// cancellation must surface.
+	var err error
+	for i := 0; i < 1024 && err == nil; i++ {
+		err = b.Step(1)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context not observed: %v", err)
+	}
+	if err := b.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v", err)
+	}
+	if err := b.Hom(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Hom = %v", err)
+	}
+}
+
+func TestBigStepExhaustsAtOnce(t *testing.T) {
+	b := budget.New(context.Background(), 100, 0)
+	if err := b.Step(1000); !errors.Is(err, budget.ErrSteps) {
+		t.Fatalf("oversized step returned %v", err)
+	}
+}

@@ -10,6 +10,7 @@ package cache
 
 import (
 	"errors"
+	"sync"
 
 	"xpathviews"
 )
@@ -38,15 +39,19 @@ type Stats struct {
 	Bytes     int
 }
 
-// Cache wraps a System with admit-on-miss view caching.
+// Cache wraps a System with admit-on-miss view caching. It is safe for
+// concurrent Answer calls: queries run on the wrapped System's own
+// read/write locking, while mu serializes the cache's bookkeeping (LRU
+// order, byte accounting, stats) and admissions. mu is always acquired
+// before the System's lock, never while holding it.
 type Cache struct {
 	sys *xpathviews.System
 	cfg Config
 
+	mu sync.Mutex
 	// lru holds live view IDs ordered by recency (front = oldest).
 	lru   []int
 	bytes map[int]int
-	tick  int
 	stats Stats
 }
 
@@ -60,7 +65,11 @@ func New(sys *xpathviews.System, cfg Config) *Cache {
 func (c *Cache) System() *xpathviews.System { return c.sys }
 
 // Stats returns a snapshot of the counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // Answer answers the query from cached views when possible (HV
 // strategy); on a miss it evaluates directly (BF), admits the query as a
@@ -68,14 +77,18 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) Answer(src string) (*xpathviews.Result, bool, error) {
 	res, err := c.sys.Answer(src, xpathviews.HV)
 	if err == nil {
+		c.mu.Lock()
 		c.stats.Hits++
 		c.touch(res.ViewsUsed)
+		c.mu.Unlock()
 		return res, true, nil
 	}
 	if !errors.Is(err, xpathviews.ErrNotAnswerable) {
 		return nil, false, err
 	}
+	c.mu.Lock()
 	c.stats.Misses++
+	c.mu.Unlock()
 	res, err = c.sys.Answer(src, xpathviews.BF)
 	if err != nil {
 		return nil, false, err
@@ -85,6 +98,8 @@ func (c *Cache) Answer(src string) (*xpathviews.Result, bool, error) {
 }
 
 func (c *Cache) admit(src string, answers int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if answers == 0 {
 		c.stats.Rejected++ // negative results are not worth caching here
 		return
@@ -113,7 +128,7 @@ func (c *Cache) admit(src string, answers int) {
 	}
 }
 
-// touch moves the used cached views to the recent end.
+// touch moves the used cached views to the recent end. Callers hold mu.
 func (c *Cache) touch(ids []int) {
 	for _, id := range ids {
 		if _, cached := c.bytes[id]; !cached {
@@ -129,4 +144,8 @@ func (c *Cache) touch(ids []int) {
 }
 
 // Len returns the number of cache-managed views currently live.
-func (c *Cache) Len() int { return len(c.bytes) }
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bytes)
+}

@@ -2,6 +2,7 @@ package cache_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"xpathviews"
@@ -129,5 +130,41 @@ func TestRemovedViewsNeverSelected(t *testing.T) {
 				t.Fatalf("%s: cache answers drifted", q)
 			}
 		}
+	}
+}
+
+// TestConcurrentAnswer hammers the cache from several goroutines while
+// admissions and evictions churn the underlying view set. Run under
+// -race this is the synchronization test for the cache bookkeeping.
+func TestConcurrentAnswer(t *testing.T) {
+	c := newCache(t, 3000) // small budget so eviction races with hits
+	queries := []string{
+		"//person/address/city",
+		"//open_auction/interval/start",
+		"//closed_auction/price",
+		"//person/profile/age",
+		"//person[address]/name",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				q := queries[(g+i)%len(queries)]
+				if _, _, err := c.Answer(q); err != nil {
+					t.Errorf("%s: %v", q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 80 {
+		t.Fatalf("lost answers: stats=%+v", st)
+	}
+	if c.Len() > len(queries) {
+		t.Fatalf("more cached views than distinct queries: %d", c.Len())
 	}
 }

@@ -1,8 +1,16 @@
 package engine
 
 import (
+	"xpathviews/internal/budget"
+	"xpathviews/internal/faults"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/xmltree"
+)
+
+// Fault points at the baseline-evaluator stage boundaries (chaos tests).
+var (
+	fpBN = faults.New("engine.bn")
+	fpBF = faults.New("engine.bf")
 )
 
 // This file implements the two direct-evaluation baselines of §VI.
@@ -29,17 +37,35 @@ func NewBN(t *xmltree.Tree) *BN { return &BN{t: t} }
 
 // Eval returns the answers of q on the document, in document order.
 func (e *BN) Eval(q *pattern.Pattern) []*xmltree.Node {
+	out, _ := e.EvalBudget(q, nil)
+	return out
+}
+
+// EvalBudget is Eval under a cancellation/step budget: the navigational
+// walk charges one step per visited candidate node and aborts with the
+// budget's error. A nil budget never aborts.
+func (e *BN) EvalBudget(q *pattern.Pattern, b *budget.B) ([]*xmltree.Node, error) {
+	if err := fpBN.Fire(); err != nil {
+		return nil, err
+	}
 	// Navigational: maintain the set of data nodes matched by the
 	// current pattern node, found by walking, then check predicates by
 	// recursive exploration. Deliberately index-free.
 	seen := make(map[*xmltree.Node]bool)
 	var out []*xmltree.Node
+	var berr error
 	spine := q.Spine()
 	var walk func(step int, from *xmltree.Node, self bool)
 	walk = func(step int, from *xmltree.Node, self bool) {
 		pn := spine[step]
 		var try func(dn *xmltree.Node)
 		try = func(dn *xmltree.Node) {
+			if berr != nil {
+				return
+			}
+			if berr = b.Step(1); berr != nil {
+				return
+			}
 			if matchNodeNav(pn, dn, spine, step) {
 				if step == len(spine)-1 {
 					if !seen[dn] {
@@ -63,6 +89,9 @@ func (e *BN) Eval(q *pattern.Pattern) []*xmltree.Node {
 			var rec func(dn *xmltree.Node)
 			rec = func(dn *xmltree.Node) {
 				for _, c := range dn.Children {
+					if berr != nil {
+						return
+					}
 					try(c)
 					rec(c)
 				}
@@ -76,8 +105,11 @@ func (e *BN) Eval(q *pattern.Pattern) []*xmltree.Node {
 	// The virtual document root: treat the real root as the only child.
 	virtual := &xmltree.Node{Children: []*xmltree.Node{e.t.Root()}}
 	walk(0, virtual, false)
+	if berr != nil {
+		return nil, berr
+	}
 	SortNodes(e.t, out)
-	return out
+	return out, nil
 }
 
 // matchNodeNav checks label, attributes and all off-spine predicate
@@ -193,6 +225,20 @@ func (e *BF) IndexBytes() int { return e.bytes }
 // answered straight from the path index; everything else uses the
 // linear-time matcher seeded by the label index.
 func (e *BF) Eval(q *pattern.Pattern) []*xmltree.Node {
+	out, _ := e.EvalBudget(q, nil)
+	return out
+}
+
+// EvalBudget is Eval under a cancellation/step budget. Pure path-index
+// lookups are charged one step; structural-join evaluation is budgeted
+// inside AnswersFastBudget.
+func (e *BF) EvalBudget(q *pattern.Pattern, b *budget.B) ([]*xmltree.Node, error) {
+	if err := fpBF.Fire(); err != nil {
+		return nil, err
+	}
+	if err := b.Step(1); err != nil {
+		return nil, err
+	}
 	if p, ok := pattern.PathOf(q); ok && q.Root.Axis == pattern.Child && q.Ret.IsLeaf() {
 		pure := true
 		var key []byte
@@ -217,7 +263,7 @@ func (e *BF) Eval(q *pattern.Pattern) []*xmltree.Node {
 			n = n.Children[0]
 		}
 		if pure {
-			return e.paths[string(key)]
+			return e.paths[string(key)], nil
 		}
 	}
 	// Quick reject: a required label that does not occur at all.
@@ -230,7 +276,7 @@ func (e *BF) Eval(q *pattern.Pattern) []*xmltree.Node {
 		return true
 	})
 	if reject {
-		return nil
+		return nil, nil
 	}
-	return AnswersFast(e.t, e.label, q)
+	return AnswersFastBudget(e.t, e.label, q, b)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"xpathviews/internal/budget"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/xmltree"
 )
@@ -15,6 +16,14 @@ import (
 //
 // Semantically identical to Answers (property-tested).
 func AnswersFast(t *xmltree.Tree, idx *LabelIndex, q *pattern.Pattern) []*xmltree.Node {
+	out, _ := AnswersFastBudget(t, idx, q, nil)
+	return out
+}
+
+// AnswersFastBudget is AnswersFast under a cancellation/step budget: each
+// bottom-up candidate row and each top-down propagation charges steps
+// proportional to the nodes it touches. A nil budget never aborts.
+func AnswersFastBudget(t *xmltree.Tree, idx *LabelIndex, q *pattern.Pattern, b *budget.B) ([]*xmltree.Node, error) {
 	n := t.Size()
 	qNodes := q.Nodes()
 	qIdx := make(map[*pattern.Node]int, len(qNodes))
@@ -35,6 +44,9 @@ func AnswersFast(t *xmltree.Tree, idx *LabelIndex, q *pattern.Pattern) []*xmltre
 			candidates = t.Nodes()
 		} else {
 			candidates = idx.Nodes(pn.Label)
+		}
+		if err := b.Step(len(candidates) + 1); err != nil {
+			return nil, err
 		}
 		var out []*xmltree.Node
 	cand:
@@ -92,6 +104,9 @@ func AnswersFast(t *xmltree.Tree, idx *LabelIndex, q *pattern.Pattern) []*xmltre
 	for si := 1; si < len(spine); si++ {
 		pn := spine[si]
 		i := qIdx[pn]
+		if err := b.Step(len(sets[i]) + 1); err != nil {
+			return nil, err
+		}
 		next := make([]bool, n)
 		if pn.Axis == pattern.Child {
 			for _, dn := range sets[i] {
@@ -135,5 +150,5 @@ func AnswersFast(t *xmltree.Tree, idx *LabelIndex, q *pattern.Pattern) []*xmltre
 		}
 	}
 	SortNodes(t, answers)
-	return answers
+	return answers, nil
 }

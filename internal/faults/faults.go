@@ -1,0 +1,164 @@
+// Package faults provides named fault-injection points for chaos testing
+// the answering pipeline. Each pipeline stage declares a package-level
+// *Point; production code calls Fire() at the stage boundary. Disarmed
+// points cost one atomic load, so the instrumentation can stay compiled
+// into release builds.
+//
+// Tests arm a point by name with Arm or ArmN and must DisarmAll when
+// done. An armed point either returns an error wrapping ErrInjected or
+// panics, letting the serving layer's containment be exercised for both
+// failure shapes.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the root error of every error-mode injection.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Mode selects what an armed point does when fired.
+type Mode int32
+
+const (
+	// Off is the default: Fire is a no-op.
+	Off Mode = iota
+	// Error makes Fire return an error wrapping ErrInjected.
+	Error
+	// Panic makes Fire panic with a descriptive string.
+	Panic
+)
+
+// Point is one named fault site.
+type Point struct {
+	name string
+	mode atomic.Int32
+	// remaining counts fires left before auto-disarm; negative means
+	// unlimited.
+	remaining atomic.Int64
+	hits      atomic.Int64
+}
+
+var (
+	mu       sync.Mutex
+	registry = map[string]*Point{}
+)
+
+// New registers (or retrieves) the fault point with the given name. It is
+// intended for package-level var initialization; calling it twice with
+// the same name returns the same point.
+func New(name string) *Point {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry[name] = p
+	return p
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Fire triggers the point. Disarmed: returns nil. Error mode: returns an
+// error wrapping ErrInjected. Panic mode: panics.
+func (p *Point) Fire() error {
+	switch Mode(p.mode.Load()) {
+	case Off:
+		return nil
+	case Error:
+		if !p.take() {
+			return nil
+		}
+		return fmt.Errorf("%w at %s", ErrInjected, p.name)
+	default:
+		if !p.take() {
+			return nil
+		}
+		panic(fmt.Sprintf("faults: injected panic at %s", p.name))
+	}
+}
+
+// take consumes one remaining fire, disarming the point when the count
+// hits zero. It reports whether this call should actually inject.
+func (p *Point) take() bool {
+	for {
+		r := p.remaining.Load()
+		if r < 0 { // unlimited
+			p.hits.Add(1)
+			return true
+		}
+		if r == 0 {
+			p.mode.Store(int32(Off))
+			return false
+		}
+		if p.remaining.CompareAndSwap(r, r-1) {
+			if r == 1 {
+				p.mode.Store(int32(Off))
+			}
+			p.hits.Add(1)
+			return true
+		}
+	}
+}
+
+// Arm arms the named point indefinitely. It reports whether the point is
+// registered.
+func Arm(name string, m Mode) bool { return ArmN(name, m, -1) }
+
+// ArmN arms the named point for n fires (n < 0 = unlimited), after which
+// it disarms itself. It reports whether the point is registered.
+func ArmN(name string, m Mode, n int64) bool {
+	mu.Lock()
+	p, ok := registry[name]
+	mu.Unlock()
+	if !ok {
+		return false
+	}
+	if n == 0 {
+		n = -1
+	}
+	p.remaining.Store(n)
+	p.mode.Store(int32(m))
+	return true
+}
+
+// DisarmAll switches every registered point off and clears hit counters.
+func DisarmAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, p := range registry {
+		p.mode.Store(int32(Off))
+		p.remaining.Store(0)
+		p.hits.Store(0)
+	}
+}
+
+// Names returns all registered point names, sorted.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hits returns how many times the named point has injected since the
+// last DisarmAll; zero for unknown names.
+func Hits(name string) int64 {
+	mu.Lock()
+	p, ok := registry[name]
+	mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return p.hits.Load()
+}

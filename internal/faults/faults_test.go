@@ -1,0 +1,76 @@
+package faults_test
+
+import (
+	"errors"
+	"testing"
+
+	"xpathviews/internal/faults"
+)
+
+var pt = faults.New("faults_test.point")
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	faults.DisarmAll()
+	for i := 0; i < 100; i++ {
+		if err := pt.Fire(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	defer faults.DisarmAll()
+	if !faults.Arm("faults_test.point", faults.Error) {
+		t.Fatal("known point not armable")
+	}
+	err := pt.Fire()
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Fire = %v", err)
+	}
+	if faults.Hits("faults_test.point") != 1 {
+		t.Fatalf("hits = %d", faults.Hits("faults_test.point"))
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer faults.DisarmAll()
+	faults.Arm("faults_test.point", faults.Panic)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("armed panic point did not panic")
+		}
+	}()
+	_ = pt.Fire()
+}
+
+func TestArmNAutoDisarms(t *testing.T) {
+	defer faults.DisarmAll()
+	faults.ArmN("faults_test.point", faults.Error, 2)
+	if err := pt.Fire(); err == nil {
+		t.Fatal("first fire not injected")
+	}
+	if err := pt.Fire(); err == nil {
+		t.Fatal("second fire not injected")
+	}
+	if err := pt.Fire(); err != nil {
+		t.Fatalf("third fire injected after budget: %v", err)
+	}
+}
+
+func TestUnknownNameNotArmable(t *testing.T) {
+	if faults.Arm("no.such.point", faults.Error) {
+		t.Fatal("unknown point reported armable")
+	}
+}
+
+func TestNamesIncludesRegistered(t *testing.T) {
+	found := false
+	for _, n := range faults.Names() {
+		if n == "faults_test.point" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered point missing from Names")
+	}
+}

@@ -3,10 +3,15 @@ package rewrite
 import (
 	"sort"
 
+	"xpathviews/internal/budget"
 	"xpathviews/internal/dewey"
+	"xpathviews/internal/faults"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/views"
 )
+
+// fpContained is the chaos-test fault point for contained rewriting.
+var fpContained = faults.New("rewrite.contained")
 
 // This file implements the second of §VII's planned extensions: "maximal
 // rewriting using multiple views in data integration scenario". When no
@@ -37,11 +42,30 @@ type ContainedResult struct {
 // for symmetry with Execute (future per-fragment refinement of contained
 // answers would need it).
 func Contained(q *pattern.Pattern, all []*views.View, fst *dewey.FST) *ContainedResult {
+	res, err := ContainedBudget(q, all, fst, nil)
+	if err != nil {
+		// Only an armed fault point can fail an unbudgeted run; degrade to
+		// an empty (still sound) result for legacy callers.
+		return &ContainedResult{}
+	}
+	return res
+}
+
+// ContainedBudget is Contained under a cancellation/step budget: each
+// candidate view charges one homomorphism check, each contributed
+// fragment one step. On error the partial result is discarded.
+func ContainedBudget(q *pattern.Pattern, all []*views.View, fst *dewey.FST, b *budget.B) (*ContainedResult, error) {
+	if err := fpContained.Fire(); err != nil {
+		return nil, err
+	}
 	res := &ContainedResult{}
 	seen := make(map[string]bool)
 	for _, v := range all {
 		if v == nil || v.IsEmpty() {
 			continue
+		}
+		if err := b.Hom(); err != nil {
+			return nil, err
 		}
 		if !answersContained(q, v.Pattern) {
 			continue
@@ -54,6 +78,9 @@ func Contained(q *pattern.Pattern, all []*views.View, fst *dewey.FST) *Contained
 		}
 		for fi := range v.Fragments {
 			f := &v.Fragments[fi]
+			if err := b.Step(1); err != nil {
+				return nil, err
+			}
 			key := f.Code.String()
 			if seen[key] {
 				continue
@@ -65,7 +92,7 @@ func Contained(q *pattern.Pattern, all []*views.View, fst *dewey.FST) *Contained
 	sort.Slice(res.Answers, func(i, j int) bool {
 		return dewey.Compare(res.Answers[i].Code, res.Answers[j].Code) < 0
 	})
-	return res
+	return res, nil
 }
 
 // answersContained reports that every answer of inner is an answer of

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"xpathviews/internal/budget"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/selection"
 	"xpathviews/internal/views"
@@ -32,19 +33,28 @@ type joiner struct {
 	fragChoice []*views.Fragment
 	chain      []int32
 	deltaFrag  *views.Fragment
+
+	// budget aborts the backtracking search; err sticks once set.
+	b   *budget.B
+	err error
 }
 
 // joinUpper returns the Δ-view fragments that participate in at least one
-// embedding of the upper pattern in the virtual tree.
-func joinUpper(q *pattern.Pattern, covers []*selection.Cover, refined []refinedView, vt *vtree, anchors [][]int32, deltaIdx int) []*views.Fragment {
+// embedding of the upper pattern in the virtual tree, charging one budget
+// step per embedding attempt.
+func joinUpper(q *pattern.Pattern, covers []*selection.Cover, refined []refinedView, vt *vtree, anchors [][]int32, deltaIdx int, b *budget.B) ([]*views.Fragment, error) {
 	j := newJoiner(q, covers, vt, deltaIdx)
+	j.b = b
 	out := make([]*views.Fragment, 0, len(refined[deltaIdx].frags))
 	for fi, frag := range refined[deltaIdx].frags {
 		if j.embed(frag, anchors[deltaIdx][fi]) {
 			out = append(out, frag)
 		}
+		if j.err != nil {
+			return nil, j.err
+		}
 	}
-	return out
+	return out, nil
 }
 
 func newJoiner(q *pattern.Pattern, covers []*selection.Cover, vt *vtree, deltaIdx int) *joiner {
@@ -154,6 +164,12 @@ func isPrefixCode(w, c []uint32) bool {
 // try assigns query node qi to arena node at and recursively places its
 // kept children; on failure all assignments made beneath are rolled back.
 func (j *joiner) try(qi int, at int32) bool {
+	if j.err != nil {
+		return false
+	}
+	if j.err = j.b.Step(1); j.err != nil {
+		return false
+	}
 	qn := j.qNodes[qi]
 	if qn.Label != pattern.Wildcard && qn.Label != j.vt.nodes[at].label {
 		return false

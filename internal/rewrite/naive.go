@@ -30,7 +30,7 @@ func ExecuteNaive(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) 
 
 	refined := make([]refinedView, len(covers))
 	for i, c := range covers {
-		if err := refineView(q, c, fst, &refined[i], res); err != nil {
+		if err := refineView(q, c, fst, &refined[i], res, nil); err != nil {
 			return nil, err
 		}
 		if len(refined[i].frags) == 0 {
@@ -61,7 +61,9 @@ func ExecuteNaive(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) 
 	}
 	rec(0)
 	res.FragmentsJoined = len(joined)
-	extract(q, covers[deltaIdx], joined, res)
+	if err := extract(q, covers[deltaIdx], joined, res, nil); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -76,7 +78,7 @@ func tupleJoins(q *pattern.Pattern, covers []*selection.Cover, refined []refined
 		}
 	}
 	vt, anchors := buildVirtual(fst, mini)
-	joined := joinUpper(q, covers, mini, vt, anchors, deltaIdx)
+	joined, err := joinUpper(q, covers, mini, vt, anchors, deltaIdx, nil)
 	putVtree(vt)
-	return len(joined) > 0
+	return err == nil && len(joined) > 0
 }

@@ -21,12 +21,21 @@ import (
 	"fmt"
 	"sort"
 
+	"xpathviews/internal/budget"
 	"xpathviews/internal/dewey"
 	"xpathviews/internal/engine"
+	"xpathviews/internal/faults"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/selection"
 	"xpathviews/internal/views"
 	"xpathviews/internal/xmltree"
+)
+
+// Fault points at the rewriting stage boundaries (chaos tests).
+var (
+	fpRefine  = faults.New("rewrite.refine")
+	fpJoin    = faults.New("rewrite.join")
+	fpExtract = faults.New("rewrite.extract")
 )
 
 // Answer is one query result produced from view fragments only.
@@ -60,6 +69,14 @@ func (r *Result) Codes() []dewey.Code {
 // data). The selection must be answerable — callers obtain it from
 // selection.Minimum or selection.Heuristic.
 func Execute(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) (*Result, error) {
+	return ExecuteBudget(q, sel, fst, nil)
+}
+
+// ExecuteBudget is Execute under a cancellation/step budget: refinement
+// charges one step per scanned fragment, the holistic join one step per
+// embedding attempt, extraction one step per fragment. A nil budget
+// never aborts on its own, but the stage fault points may.
+func ExecuteBudget(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST, b *budget.B) (*Result, error) {
 	if len(sel.Covers) == 0 {
 		return nil, fmt.Errorf("rewrite: empty selection")
 	}
@@ -74,9 +91,12 @@ func Execute(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) (*Res
 	res := &Result{}
 
 	// Stage 1+2: refine fragments and filter by decoded root paths.
+	if err := fpRefine.Fire(); err != nil {
+		return nil, err
+	}
 	refined := make([]refinedView, len(covers))
 	for i, c := range covers {
-		if err := refineView(q, c, fst, &refined[i], res); err != nil {
+		if err := refineView(q, c, fst, &refined[i], res, b); err != nil {
 			return nil, err
 		}
 		if len(refined[i].frags) == 0 {
@@ -87,18 +107,28 @@ func Execute(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) (*Res
 	// Fast path: a strong Δ-cover answers alone (condition 3, §IV-A).
 	dc := covers[deltaIdx]
 	if dc.Strong && len(covers) == 1 {
-		extract(q, dc, refined[deltaIdx].frags, res)
+		if err := extract(q, dc, refined[deltaIdx].frags, res, b); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 
 	// Stage 3: holistic join on the virtual tree.
+	if err := fpJoin.Fire(); err != nil {
+		return nil, err
+	}
 	vt, anchors := buildVirtual(fst, refined)
-	joined := joinUpper(q, covers, refined, vt, anchors, deltaIdx)
+	joined, err := joinUpper(q, covers, refined, vt, anchors, deltaIdx, b)
 	putVtree(vt)
+	if err != nil {
+		return nil, err
+	}
 	res.FragmentsJoined = len(joined)
 
 	// Stage 4: extraction from the Δ-view's joined fragments.
-	extract(q, dc, joined, res)
+	if err := extract(q, dc, joined, res, b); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -111,7 +141,7 @@ type refinedView struct {
 
 // refineView applies the compensating pattern and the root-path filter to
 // every fragment of one cover.
-func refineView(q *pattern.Pattern, c *selection.Cover, fst *dewey.FST, out *refinedView, res *Result) error {
+func refineView(q *pattern.Pattern, c *selection.Cover, fst *dewey.FST, out *refinedView, res *Result, b *budget.B) error {
 	comp := compensating(q, c.X)
 	// The root-path filter already certifies x's own label; when the
 	// compensating pattern has no predicates below x, refinement is a
@@ -126,6 +156,9 @@ func refineView(q *pattern.Pattern, c *selection.Cover, fst *dewey.FST, out *ref
 	out.labels = make([][]string, 0, len(c.View.Fragments))
 	for fi := range c.View.Fragments {
 		f := &c.View.Fragments[fi]
+		if err := b.Step(1); err != nil {
+			return err
+		}
 		res.FragmentsScanned++
 		start := len(slab)
 		var err error

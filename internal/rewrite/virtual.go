@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"xpathviews/internal/budget"
 	"xpathviews/internal/dewey"
 	"xpathviews/internal/engine"
 	"xpathviews/internal/pattern"
@@ -155,21 +156,31 @@ func buildVirtual(fst *dewey.FST, refined []refinedView) (*vtree, [][]int32) {
 }
 
 // extract runs the answer-extraction compensating query on the Δ-view's
-// joined fragments (§V's final step) and appends results.
-func extract(q *pattern.Pattern, dc *selection.Cover, frags []*views.Fragment, res *Result) {
+// joined fragments (§V's final step) and appends results, charging one
+// budget step per fragment.
+func extract(q *pattern.Pattern, dc *selection.Cover, frags []*views.Fragment, res *Result, b *budget.B) error {
+	if err := fpExtract.Fire(); err != nil {
+		return err
+	}
 	comp := compensating(q, dc.X)
 	if dc.X == q.Ret && len(comp.Root.Children) == 0 && len(comp.Root.Attrs) == 0 {
 		// The view's answers are the query's answers: no compensating
 		// work inside fragments. Fragment roots are distinct by
 		// construction, so no dedup pass is needed either.
+		if err := b.Step(len(frags)); err != nil {
+			return err
+		}
 		for _, f := range frags {
 			res.Answers = append(res.Answers, Answer{Code: f.Code, Node: f.Tree.Root()})
 		}
 		sortAnswers(res)
-		return
+		return nil
 	}
 	seen := make(map[string]bool)
 	for _, f := range frags {
+		if err := b.Step(1); err != nil {
+			return err
+		}
 		answers := engine.AnswersAtRoot(f.Tree, comp)
 		for _, a := range answers {
 			ord := f.Tree.Ord(a)
@@ -186,6 +197,7 @@ func extract(q *pattern.Pattern, dc *selection.Cover, frags []*views.Fragment, r
 		}
 	}
 	sortAnswers(res)
+	return nil
 }
 
 func sortAnswers(res *Result) {

@@ -3,10 +3,15 @@ package selection
 import (
 	"sort"
 
+	"xpathviews/internal/budget"
+	"xpathviews/internal/faults"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/vfilter"
 	"xpathviews/internal/views"
 )
+
+// fpCostBased is the chaos-test fault point for cost-based selection.
+var fpCostBased = faults.New("selection.costbased")
 
 // This file implements the cost model §IV-B mentions but omits "due to
 // space limitation": selection that trades off the two factors the paper
@@ -40,6 +45,15 @@ func (p CostParams) cost(v *views.View) float64 {
 // lazily like Algorithm 2. It returns ErrNotAnswerable when no answering
 // subset exists among the candidates.
 func CostBased(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry, params CostParams) (*Selection, error) {
+	return CostBasedBudget(q, res, reg, params, nil)
+}
+
+// CostBasedBudget is CostBased under a cancellation/step budget: each
+// lazily computed homomorphism charges Hom, each greedy round a step.
+func CostBasedBudget(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry, params CostParams, b *budget.B) (*Selection, error) {
+	if err := fpCostBased.Fire(); err != nil {
+		return nil, err
+	}
 	sel := &Selection{}
 
 	// Candidate order: cheap views first so that lazily computed covers
@@ -59,10 +73,17 @@ func CostBased(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry, par
 		return params.cost(a) < params.cost(b)
 	})
 
+	var berr error
 	covers := make(map[int]*Cover, len(candIDs))
 	coverOf := func(id int) *Cover {
 		c, ok := covers[id]
 		if !ok {
+			if berr == nil {
+				berr = b.Hom()
+			}
+			if berr != nil {
+				return nil
+			}
 			sel.HomsComputed++
 			c = ComputeCover(reg.Get(id), q)
 			covers[id] = c
@@ -94,11 +115,17 @@ func CostBased(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry, par
 	}
 
 	for len(need) > 0 || !delta {
+		if err := b.Step(len(candIDs) + 1); err != nil {
+			return nil, err
+		}
 		best := -1
 		bestScore := 0.0
 		var bestCover *Cover
 		for _, id := range candIDs {
 			c := coverOf(id)
+			if berr != nil {
+				return nil, berr
+			}
 			g := gain(c)
 			if g == 0 {
 				continue

@@ -30,9 +30,17 @@ import (
 	"fmt"
 	"sort"
 
+	"xpathviews/internal/budget"
+	"xpathviews/internal/faults"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/vfilter"
 	"xpathviews/internal/views"
+)
+
+// Fault points at the selection stage boundaries (chaos tests).
+var (
+	fpMinimum   = faults.New("selection.minimum")
+	fpHeuristic = faults.New("selection.heuristic")
 )
 
 // Pin records one rigid anchor produced by a mode-(b) cover: during the
@@ -336,18 +344,35 @@ func (s *Selection) TotalFragmentBytes() int {
 // O(2^n) worst case, implemented as an element-driven set-cover search
 // with size pruning).
 func Minimum(q *pattern.Pattern, candidates []*views.View) (*Selection, error) {
+	return MinimumBudget(q, candidates, nil)
+}
+
+// MinimumBudget is Minimum under a cancellation/step budget: every
+// candidate homomorphism charges Hom, and every node of the subset-cover
+// search charges a step, so adversarial view sets that force the O(2^n)
+// worst case abort promptly instead of running away.
+func MinimumBudget(q *pattern.Pattern, candidates []*views.View, b *budget.B) (*Selection, error) {
+	if err := fpMinimum.Fire(); err != nil {
+		return nil, err
+	}
 	sel := &Selection{}
 	var covers []*Cover
 	for _, v := range candidates {
 		if v == nil {
 			continue
 		}
+		if err := b.Hom(); err != nil {
+			return nil, err
+		}
 		sel.HomsComputed++
 		if c := ComputeCover(v, q); c != nil && c.Size() > 0 {
 			covers = append(covers, c)
 		}
 	}
-	best := minimumCover(q, covers)
+	best, err := minimumCover(q, covers, b)
+	if err != nil {
+		return nil, err
+	}
 	if best == nil {
 		return nil, ErrNotAnswerable
 	}
@@ -355,14 +380,22 @@ func Minimum(q *pattern.Pattern, candidates []*views.View) (*Selection, error) {
 	return sel, nil
 }
 
-// minimumCover searches for a smallest answering subset of covers.
-func minimumCover(q *pattern.Pattern, covers []*Cover) []*Cover {
+// minimumCover searches for a smallest answering subset of covers,
+// charging one budget step per search node.
+func minimumCover(q *pattern.Pattern, covers []*Cover, b *budget.B) ([]*Cover, error) {
 	leaves := q.Leaves()
 	var best []*Cover
+	var berr error
 	// Depth-first search on the first uncovered element (Δ first, then
 	// leaves in preorder), pruning on the best size found so far.
 	var dfs func(chosen []*Cover)
 	dfs = func(chosen []*Cover) {
+		if berr != nil {
+			return
+		}
+		if berr = b.Step(1); berr != nil {
+			return
+		}
 		if best != nil && len(chosen) >= len(best) {
 			return
 		}
@@ -418,7 +451,10 @@ func minimumCover(q *pattern.Pattern, covers []*Cover) []*Cover {
 		}
 	}
 	dfs(nil)
-	return best
+	if berr != nil {
+		return nil, berr
+	}
+	return best, nil
 }
 
 // Heuristic implements Algorithm 2: greedy selection over VFilter's
@@ -428,6 +464,15 @@ func minimumCover(q *pattern.Pattern, covers []*Cover) []*Cover {
 // (preorder) for reproducibility. The result is a minimal (not
 // necessarily minimum) answering set.
 func Heuristic(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry) (*Selection, error) {
+	return HeuristicBudget(q, res, reg, nil)
+}
+
+// HeuristicBudget is Heuristic under a cancellation/step budget: each
+// lazily computed homomorphism charges Hom and each list probe a step.
+func HeuristicBudget(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry, b *budget.B) (*Selection, error) {
+	if err := fpHeuristic.Fire(); err != nil {
+		return nil, err
+	}
 	sel := &Selection{}
 	leafPathIdx := leafPathIndexes(q, res.QueryPaths)
 	uncovered := make(map[*pattern.Node]bool)
@@ -437,12 +482,22 @@ func Heuristic(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry) (*S
 	delta := false
 	coverByView := make(map[int]*Cover)
 	var chosen []*Cover
+	var berr error
 
 	tryView := func(id int, want *pattern.Node, wantDelta bool) bool {
+		if berr != nil {
+			return false
+		}
+		if berr = b.Step(1); berr != nil {
+			return false
+		}
 		c, seen := coverByView[id]
 		if !seen {
 			v := reg.Get(id)
 			if v == nil {
+				return false
+			}
+			if berr = b.Hom(); berr != nil {
 				return false
 			}
 			sel.HomsComputed++
@@ -488,6 +543,9 @@ func Heuristic(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry) (*S
 				break
 			}
 		}
+		if berr != nil {
+			return nil, berr
+		}
 		if !found {
 			return nil, ErrNotAnswerable // lines 15-18
 		}
@@ -508,6 +566,9 @@ func Heuristic(q *pattern.Pattern, res *vfilter.Result, reg *views.Registry) (*S
 			if tryView(le.View, nil, true) {
 				break
 			}
+		}
+		if berr != nil {
+			return nil, berr
 		}
 		if !delta {
 			return nil, ErrNotAnswerable

@@ -25,8 +25,13 @@ package vfilter
 import (
 	"sort"
 
+	"xpathviews/internal/budget"
+	"xpathviews/internal/faults"
 	"xpathviews/internal/pattern"
 )
+
+// fpFiltering is the chaos-test fault point at the filtering stage.
+var fpFiltering = faults.New("vfilter.filtering")
 
 // Entry identifies one view path pattern stored at an accepting state.
 type Entry struct {
@@ -312,6 +317,22 @@ type Result struct {
 // acceptance event; double-counting events could otherwise filter views
 // that must be kept. See DESIGN.md.
 func (f *Filter) Filtering(q *pattern.Pattern) *Result {
+	res, err := f.FilteringBudget(q, nil)
+	if err != nil {
+		// Only an armed fault point can fail an unbudgeted run; degrade to
+		// "no candidates" so legacy callers keep a non-nil result.
+		return &Result{}
+	}
+	return res
+}
+
+// FilteringBudget is Filtering under a cancellation/step budget: each
+// query path charges steps proportional to its automaton run. A nil
+// budget never aborts on its own, but the stage fault point may.
+func (f *Filter) FilteringBudget(q *pattern.Pattern, b *budget.B) (*Result, error) {
+	if err := fpFiltering.Fire(); err != nil {
+		return nil, err
+	}
 	var queryAttrs [][]string
 	var res *Result
 	if f.attrPruning {
@@ -329,7 +350,13 @@ func (f *Filter) Filtering(q *pattern.Pattern) *Result {
 	seen := make(map[int]map[int]struct{})           // view → set of path indices
 	best := make([]map[int]int, len(res.QueryPaths)) // per query path: view → max len
 	for i, qp := range res.QueryPaths {
+		if err := b.Step(qp.Len() + 1); err != nil {
+			return nil, err
+		}
 		entries := f.Read(pattern.Str(qp))
+		if err := b.Step(len(entries)); err != nil {
+			return nil, err
+		}
 		best[i] = make(map[int]int)
 		for _, e := range entries {
 			if f.attrPruning && !pattern.SubsetSorted(e.Attrs, queryAttrs[i]) {
@@ -369,5 +396,5 @@ func (f *Filter) Filtering(q *pattern.Pattern) *Result {
 		})
 		res.Lists[i] = list
 	}
-	return res
+	return res, nil
 }

@@ -94,6 +94,12 @@ func (p *parser) name() (string, error) {
 		p.pos++
 		return pattern.Wildcard, nil
 	}
+	// A leading '.' would be ambiguous with the current-node marker when
+	// the name is printed back inside a predicate; dots are only allowed
+	// inside names.
+	if !p.eof() && p.src[p.pos] == '.' {
+		return "", fmt.Errorf("name cannot start with '.' at offset %d", p.pos)
+	}
 	start := p.pos
 	for !p.eof() && isNameByte(p.src[p.pos]) {
 		p.pos++

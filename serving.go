@@ -1,0 +1,354 @@
+package xpathviews
+
+// This file is the hardened serving layer: context-aware answering with
+// per-call deadlines and resource budgets, panic containment, and
+// graceful degradation through a configurable fallback chain. The batch
+// entry points (Answer, AnswerPattern, Select) are thin wrappers over
+// these with a background context and no budgets.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"xpathviews/internal/budget"
+	"xpathviews/internal/faults"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/rewrite"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/xmltree"
+	"xpathviews/internal/xpath"
+)
+
+// ErrBudgetExceeded re-exports the pipeline's budget exhaustion error:
+// AnswerContext returns an error matching it (errors.Is) when MaxSteps
+// or MaxHoms ran out before the query completed.
+var ErrBudgetExceeded = budget.ErrBudget
+
+// ErrInternal marks a contained pipeline failure: an injected fault or a
+// recovered panic inside one of the answering stages. The concrete error
+// is an *InternalError carrying the stage name.
+var ErrInternal = errors.New("xpathviews: internal error")
+
+// InternalError is a contained failure of one pipeline stage.
+type InternalError struct {
+	// Stage is the pipeline stage that failed, e.g. "rewrite.join".
+	Stage string
+	// Cause is the underlying error; recovered panics are wrapped in an
+	// error describing the panic value.
+	Cause error
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("xpathviews: internal error at %s: %v", e.Stage, e.Cause)
+}
+
+// Unwrap makes the error match both ErrInternal and its cause chain.
+func (e *InternalError) Unwrap() []error { return []error{ErrInternal, e.Cause} }
+
+// Options tunes one serving-layer call. The zero value means strategy BN
+// with no limits.
+type Options struct {
+	// Strategy selects how AnswerContext answers (ignored by
+	// AnswerResilient, which tries the Fallback chain instead).
+	Strategy Strategy
+	// Timeout, when positive, bounds the call with a derived deadline on
+	// top of the caller's context.
+	Timeout time.Duration
+	// MaxAnswers truncates the answer list (0 = unlimited); Result.
+	// Truncated reports when it bit.
+	MaxAnswers int
+	// MaxHoms caps homomorphism computations during selection — the cost
+	// driver of §IV (0 = unlimited).
+	MaxHoms int
+	// MaxSteps caps cheap pipeline work units: traversal node visits,
+	// subset-enumeration search nodes, fragments scanned/joined
+	// (0 = unlimited). Exhaustion yields ErrBudgetExceeded.
+	MaxSteps int64
+	// Fallback overrides AnswerResilient's rung chain; nil means
+	// DefaultFallback().
+	Fallback []Rung
+}
+
+// budget builds the call's budget over ctx.
+func (o Options) budget(ctx context.Context) *budget.B {
+	return budget.New(ctx, o.MaxSteps, int64(o.MaxHoms))
+}
+
+// Rung is one step of AnswerResilient's fallback chain.
+type Rung int
+
+const (
+	// RungHV answers with heuristic selection over filtered candidates.
+	RungHV Rung = iota
+	// RungMV answers with exact minimum selection over filtered
+	// candidates.
+	RungMV
+	// RungCV answers with cost-based selection over filtered candidates.
+	RungCV
+	// RungMN answers with exact minimum selection without filtering.
+	RungMN
+	// RungContained answers with a contained (sound, possibly partial)
+	// rewriting; it degrades completeness, never soundness.
+	RungContained
+	// RungBN evaluates directly on the document, navigationally.
+	RungBN
+	// RungBF evaluates directly with full index support.
+	RungBF
+)
+
+var rungNames = [...]string{"HV", "MV", "CV", "MN", "contained", "BN", "BF"}
+
+func (r Rung) String() string {
+	if int(r) < len(rungNames) {
+		return rungNames[r]
+	}
+	return fmt.Sprintf("Rung(%d)", int(r))
+}
+
+// DefaultFallback is AnswerResilient's chain when Options.Fallback is
+// nil: cheapest equivalent rewriting first, then exact selection, then a
+// sound-but-partial rewriting, then direct evaluation as the rung of
+// last resort.
+func DefaultFallback() []Rung { return []Rung{RungHV, RungMV, RungContained, RungBN} }
+
+// runStage executes one pipeline stage with panic containment: a panic
+// or an injected fault surfaces as an *InternalError naming the stage;
+// budget and answerability errors pass through untouched.
+func runStage[T any](stage string, f func() (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			out = zero
+			err = &InternalError{Stage: stage, Cause: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	out, err = f()
+	if err != nil && errors.Is(err, faults.ErrInjected) {
+		err = &InternalError{Stage: stage, Cause: err}
+	}
+	return out, err
+}
+
+// AnswerContext evaluates the query under the chosen strategy with
+// cancellation and resource budgets. It returns promptly once ctx is
+// done (context.Canceled / context.DeadlineExceeded) or a budget runs
+// out (ErrBudgetExceeded), even mid-way through the exponential exact
+// selection. Pipeline panics and injected faults come back as
+// ErrInternal, never as a crash.
+func (s *System) AnswerContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	q, err := xpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.AnswerPatternContext(ctx, q, opts)
+}
+
+// AnswerPatternContext is AnswerContext for already-parsed queries.
+func (s *System) AnswerPatternContext(ctx context.Context, q *pattern.Pattern, opts Options) (*Result, error) {
+	ctx, cancel, err := servingContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	b := opts.budget(ctx)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := s.answerLocked(pattern.Minimize(q), opts.Strategy, b)
+	if err != nil {
+		return nil, err
+	}
+	truncate(res, opts.MaxAnswers)
+	return res, nil
+}
+
+// SelectContext runs view selection only, with cancellation and budgets.
+// Strategy comes from the strat argument; opts contributes Timeout,
+// MaxSteps and MaxHoms.
+func (s *System) SelectContext(ctx context.Context, q *pattern.Pattern, strat Strategy, opts Options) (*selection.Selection, int, error) {
+	ctx, cancel, err := servingContext(ctx, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer cancel()
+	b := opts.budget(ctx)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.selectLocked(pattern.Minimize(q), strat, b)
+}
+
+// AnswerResilient serves the query through a fallback chain (default
+// HV → MV → contained → BN), degrading on ErrNotAnswerable, budget
+// exhaustion and contained internal failures. The returned Result
+// records which rung answered (Rung) and why earlier rungs were skipped
+// (DegradedReasons). Context cancellation aborts the whole chain — a
+// caller that went away is not served a degraded answer.
+func (s *System) AnswerResilient(ctx context.Context, src string, opts Options) (*Result, error) {
+	q, err := xpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.AnswerPatternResilient(ctx, q, opts)
+}
+
+// AnswerPatternResilient is AnswerResilient for already-parsed queries.
+func (s *System) AnswerPatternResilient(ctx context.Context, q *pattern.Pattern, opts Options) (*Result, error) {
+	ctx, cancel, err := servingContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	chain := opts.Fallback
+	if len(chain) == 0 {
+		chain = DefaultFallback()
+	}
+	q = pattern.Minimize(q)
+	var reasons []string
+	var lastErr error
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, rung := range chain {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Each rung gets a fresh step/hom budget; the deadline is shared.
+		res, err := s.answerRungLocked(q, rung, opts.budget(ctx))
+		if err == nil {
+			res.Rung = rung.String()
+			res.Degraded = len(reasons) > 0
+			res.DegradedReasons = reasons
+			truncate(res, opts.MaxAnswers)
+			return res, nil
+		}
+		if !degradable(err) {
+			return nil, err
+		}
+		lastErr = err
+		reasons = append(reasons, fmt.Sprintf("%s: %v", rung, err))
+	}
+	if lastErr == nil {
+		lastErr = ErrNotAnswerable // empty chain cannot happen, but be safe
+	}
+	return nil, fmt.Errorf("xpathviews: all fallback rungs failed (%s): %w",
+		strings.Join(reasons, "; "), lastErr)
+}
+
+// answerRungLocked answers one fallback rung under s.mu (read).
+func (s *System) answerRungLocked(q *pattern.Pattern, rung Rung, b *budget.B) (*Result, error) {
+	switch rung {
+	case RungHV:
+		return s.answerLocked(q, HV, b)
+	case RungMV:
+		return s.answerLocked(q, MV, b)
+	case RungCV:
+		return s.answerLocked(q, CV, b)
+	case RungMN:
+		return s.answerLocked(q, MN, b)
+	case RungBN:
+		return s.answerLocked(q, BN, b)
+	case RungBF:
+		return s.answerLocked(q, BF, b)
+	case RungContained:
+		res, err := s.containedLocked(q, b)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Answers) == 0 && res.Partial {
+			// An empty uncertified result carries no information — let the
+			// next rung (typically direct evaluation) produce real answers.
+			return nil, ErrNotAnswerable
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("xpathviews: unknown fallback rung %v", rung)
+	}
+}
+
+// answerLocked evaluates q under s.mu (read) with panic containment per
+// stage. q must already be minimized.
+func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B) (*Result, error) {
+	res := &Result{Strategy: strat}
+	switch strat {
+	case BN:
+		nodes, err := runStage("engine.bn", func() ([]*xmltree.Node, error) {
+			return s.bn.EvalBudget(q, b)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := s.collectDoc(res, nodes); err != nil {
+			return nil, err
+		}
+		return res, nil
+	case BF:
+		bf := s.lazyBF()
+		nodes, err := runStage("engine.bf", func() ([]*xmltree.Node, error) {
+			return bf.EvalBudget(q, b)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := s.collectDoc(res, nodes); err != nil {
+			return nil, err
+		}
+		return res, nil
+	case MN, MV, HV, CV:
+		sel, cand, err := s.selectLocked(q, strat, b)
+		if err != nil {
+			return nil, err
+		}
+		res.CandidatesAfterFilter = cand
+		res.HomsComputed = sel.HomsComputed
+		for _, c := range sel.Covers {
+			res.ViewsUsed = append(res.ViewsUsed, c.View.ID)
+		}
+		out, err := runStage("rewrite", func() (*rewrite.Result, error) {
+			return rewrite.ExecuteBudget(q, sel, s.fst, b)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range out.Answers {
+			res.Answers = append(res.Answers, Answer{Code: a.Code, Node: a.Node})
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("xpathviews: unknown strategy %v", strat)
+	}
+}
+
+// servingContext applies Options.Timeout and rejects already-done
+// contexts up front, so even a query whose selection would be
+// exponential returns immediately.
+func servingContext(ctx context.Context, opts Options) (context.Context, context.CancelFunc, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+		return ctx, cancel, nil
+	}
+	return ctx, func() {}, nil
+}
+
+// degradable reports whether a rung failure should fall through to the
+// next rung rather than abort the chain. Cancellation and deadline
+// expiry are not degradable: the caller is gone.
+func degradable(err error) bool {
+	return errors.Is(err, ErrNotAnswerable) ||
+		errors.Is(err, ErrBudgetExceeded) ||
+		errors.Is(err, ErrInternal)
+}
+
+// truncate enforces Options.MaxAnswers on a successful result.
+func truncate(res *Result, max int) {
+	if max > 0 && len(res.Answers) > max {
+		res.Answers = res.Answers[:max]
+		res.Truncated = true
+	}
+}

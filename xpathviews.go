@@ -24,11 +24,14 @@
 package xpathviews
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
+	"xpathviews/internal/budget"
 	"xpathviews/internal/dewey"
 	"xpathviews/internal/engine"
 	"xpathviews/internal/pattern"
@@ -80,7 +83,15 @@ var ErrNotAnswerable = selection.ErrNotAnswerable
 
 // System owns a document, its encoding, its materialized views and the
 // view filter.
+//
+// Concurrency: a System is safe for concurrent use. Answer*, Select*,
+// Filtering and AnswerContained run under a read lock; AddView*,
+// RemoveView, CompactFilter and EnableAttributePruning take the write
+// lock, so view mutation serializes against in-flight queries. The
+// accessors Registry and Filter return live internals — callers must not
+// mutate them while queries run.
 type System struct {
+	mu       sync.RWMutex
 	doc      *xmltree.Tree
 	enc      *dewey.Encoding
 	fst      *dewey.FST
@@ -88,7 +99,10 @@ type System struct {
 	filter   *vfilter.Filter
 
 	bn *engine.BN
-	bf *engine.BF
+	// bf is built lazily on the first BF query; bfOnce makes the
+	// initialization race-free under the read lock.
+	bfOnce sync.Once
+	bf     *engine.BF
 }
 
 // Open prepares a system over an in-memory document, deriving the FST
@@ -156,6 +170,8 @@ func (s *System) AddView(src string, limit int) (int, error) {
 
 // AddViewPattern is AddView for already-parsed patterns.
 func (s *System) AddViewPattern(p *pattern.Pattern, limit int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v, err := s.registry.Add(p, limit)
 	if err != nil {
 		return 0, err
@@ -165,12 +181,18 @@ func (s *System) AddViewPattern(p *pattern.Pattern, limit int) (int, error) {
 }
 
 // NumViews returns the number of live materialized views.
-func (s *System) NumViews() int { return s.registry.Len() }
+func (s *System) NumViews() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.registry.Len()
+}
 
 // RemoveView drops a materialized view from both the registry and the
 // filter, freeing its fragment storage for other views (IDs are not
 // reused). Returns false for unknown IDs.
 func (s *System) RemoveView(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	a := s.registry.Remove(id)
 	b := s.filter.RemoveView(id)
 	return a && b
@@ -180,6 +202,8 @@ func (s *System) RemoveView(id int) bool {
 // trie states left behind by RemoveView. Attribute pruning state is
 // preserved.
 func (s *System) CompactFilter() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	nf := vfilter.New()
 	if s.filter.AttrPruningEnabled() {
 		nf.EnableAttributePruning()
@@ -209,6 +233,22 @@ type Result struct {
 	CandidatesAfterFilter int
 	// HomsComputed counts homomorphism computations during selection.
 	HomsComputed int
+
+	// Rung names the fallback rung that produced the answers (set by
+	// AnswerResilient only, e.g. "HV" or "contained").
+	Rung string
+	// Degraded reports that at least one earlier rung failed before this
+	// result was produced (AnswerResilient only).
+	Degraded bool
+	// DegradedReasons records, per failed rung, "rung: cause" in the
+	// order the rungs were tried (AnswerResilient only).
+	DegradedReasons []string
+	// Partial reports that the answers come from a contained rewriting
+	// that could not certify completeness: every answer is a true answer,
+	// but some answers may be missing.
+	Partial bool
+	// Truncated reports that MaxAnswers cut the answer list short.
+	Truncated bool
 }
 
 // Codes returns the sorted answer codes as strings.
@@ -221,75 +261,68 @@ func (r *Result) Codes() []string {
 	return out
 }
 
-// Answer evaluates the query under the chosen strategy.
+// Answer evaluates the query under the chosen strategy. It is
+// AnswerContext with a background context and no budgets.
 func (s *System) Answer(src string, strat Strategy) (*Result, error) {
-	q, err := xpath.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return s.AnswerPattern(q, strat)
+	return s.AnswerContext(context.Background(), src, Options{Strategy: strat})
 }
 
 // AnswerPattern is Answer for already-parsed queries.
 func (s *System) AnswerPattern(q *pattern.Pattern, strat Strategy) (*Result, error) {
-	q = pattern.Minimize(q)
-	res := &Result{Strategy: strat}
-	switch strat {
-	case BN:
-		s.collectDoc(res, s.bn.Eval(q))
-		return res, nil
-	case BF:
-		if s.bf == nil {
-			s.bf = engine.NewBF(s.doc)
-		}
-		s.collectDoc(res, s.bf.Eval(q))
-		return res, nil
-	case MN, MV, HV, CV:
-		sel, cand, err := s.Select(q, strat)
-		if err != nil {
-			return nil, err
-		}
-		res.CandidatesAfterFilter = cand
-		res.HomsComputed = sel.HomsComputed
-		for _, c := range sel.Covers {
-			res.ViewsUsed = append(res.ViewsUsed, c.View.ID)
-		}
-		out, err := rewrite.Execute(q, sel, s.fst)
-		if err != nil {
-			return nil, err
-		}
-		for _, a := range out.Answers {
-			res.Answers = append(res.Answers, Answer{Code: a.Code, Node: a.Node})
-		}
-		return res, nil
-	default:
-		return nil, fmt.Errorf("xpathviews: unknown strategy %v", strat)
-	}
+	return s.AnswerPatternContext(context.Background(), q, Options{Strategy: strat})
 }
 
 // Select runs view selection only (the "lookup" of Figure 9), returning
 // the selection and the number of candidate views after filtering (the
 // registry size for MN).
 func (s *System) Select(q *pattern.Pattern, strat Strategy) (*selection.Selection, int, error) {
+	return s.SelectContext(context.Background(), q, strat, Options{Strategy: strat})
+}
+
+// selectLocked runs selection under s.mu (read) with a budget. Stage
+// failures (injected faults, panics) are converted to *InternalError.
+func (s *System) selectLocked(q *pattern.Pattern, strat Strategy, b *budget.B) (*selection.Selection, int, error) {
+	filtering := func() (*vfilter.Result, error) {
+		return runStage("vfilter.filtering", func() (*vfilter.Result, error) {
+			return s.filter.FilteringBudget(q, b)
+		})
+	}
 	switch strat {
 	case MN:
-		sel, err := selection.Minimum(q, s.registry.Views())
+		sel, err := runStage("selection.minimum", func() (*selection.Selection, error) {
+			return selection.MinimumBudget(q, s.registry.Views(), b)
+		})
 		return sel, s.registry.Len(), err
 	case MV:
-		fres := s.filter.Filtering(q)
+		fres, err := filtering()
+		if err != nil {
+			return nil, 0, err
+		}
 		cands := make([]*views.View, 0, len(fres.Candidates))
 		for _, id := range fres.Candidates {
 			cands = append(cands, s.registry.Get(id))
 		}
-		sel, err := selection.Minimum(q, cands)
+		sel, err := runStage("selection.minimum", func() (*selection.Selection, error) {
+			return selection.MinimumBudget(q, cands, b)
+		})
 		return sel, len(fres.Candidates), err
 	case HV:
-		fres := s.filter.Filtering(q)
-		sel, err := selection.Heuristic(q, fres, s.registry)
+		fres, err := filtering()
+		if err != nil {
+			return nil, 0, err
+		}
+		sel, err := runStage("selection.heuristic", func() (*selection.Selection, error) {
+			return selection.HeuristicBudget(q, fres, s.registry, b)
+		})
 		return sel, len(fres.Candidates), err
 	case CV:
-		fres := s.filter.Filtering(q)
-		sel, err := selection.CostBased(q, fres, s.registry, selection.DefaultCostParams())
+		fres, err := filtering()
+		if err != nil {
+			return nil, 0, err
+		}
+		sel, err := runStage("selection.costbased", func() (*selection.Selection, error) {
+			return selection.CostBasedBudget(q, fres, s.registry, selection.DefaultCostParams(), b)
+		})
 		return sel, len(fres.Candidates), err
 	default:
 		return nil, 0, fmt.Errorf("xpathviews: %v is not a view strategy", strat)
@@ -298,6 +331,8 @@ func (s *System) Select(q *pattern.Pattern, strat Strategy) (*selection.Selectio
 
 // Filtering exposes raw VFILTER output for a query.
 func (s *System) Filtering(q *pattern.Pattern) *vfilter.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.filter.Filtering(q)
 }
 
@@ -306,6 +341,8 @@ func (s *System) Filtering(q *pattern.Pattern) *vfilter.Result {
 // demand, and filtering rejects views whose demands the query cannot
 // satisfy. Must be called before the first AddView.
 func (s *System) EnableAttributePruning() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.filter.EnableAttributePruning()
 }
 
@@ -320,20 +357,48 @@ func (s *System) AnswerContained(src string) (*Result, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	q = pattern.Minimize(q)
-	out := rewrite.Contained(q, s.registry.ViewList, s.fst)
-	res := &Result{Strategy: HV, ViewsUsed: out.ViewsUsed}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := s.containedLocked(pattern.Minimize(q), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, !res.Partial, nil
+}
+
+// containedLocked runs the contained rewriting under s.mu (read).
+func (s *System) containedLocked(q *pattern.Pattern, b *budget.B) (*Result, error) {
+	out, err := runStage("rewrite.contained", func() (*rewrite.ContainedResult, error) {
+		return rewrite.ContainedBudget(q, s.registry.ViewList, s.fst, b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Strategy: HV, ViewsUsed: out.ViewsUsed, Partial: !out.Complete}
 	for _, a := range out.Answers {
 		res.Answers = append(res.Answers, Answer{Code: a.Code, Node: a.Node})
 	}
-	return res, out.Complete, nil
+	return res, nil
 }
 
-func (s *System) collectDoc(res *Result, nodes []*xmltree.Node) {
+// lazyBF returns the BF evaluator, building it race-free on first use.
+func (s *System) lazyBF() *engine.BF {
+	s.bfOnce.Do(func() { s.bf = engine.NewBF(s.doc) })
+	return s.bf
+}
+
+// collectDoc converts document nodes to answers, failing loudly when a
+// node has no extended Dewey code (an encoding inconsistency) instead of
+// emitting a zero code.
+func (s *System) collectDoc(res *Result, nodes []*xmltree.Node) error {
 	for _, n := range nodes {
-		code, _ := s.enc.CodeOf(n)
+		code, ok := s.enc.CodeOf(n)
+		if !ok {
+			return fmt.Errorf("xpathviews: answer node %q has no extended Dewey code", n.Label)
+		}
 		res.Answers = append(res.Answers, Answer{Code: code, Node: n})
 	}
+	return nil
 }
 
 // MarshalAnswer serializes one answer's subtree as XML.
