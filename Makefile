@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke
+.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a short fuzz smoke of the XPath parser.
@@ -20,3 +20,12 @@ race:
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/xpath
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# advise-demo generates a positive workload and runs the advisor against
+# the naive top-k baseline at the same byte budget.
+advise-demo:
+	$(GO) run ./cmd/xpvgen -queries 300 -positive -scale 0.1 -seed 2008 > /tmp/xpv-workload.txt
+	$(GO) run ./cmd/xpvadvise -workload /tmp/xpv-workload.txt -scale 0.1 -seed 2008 -budget 196608 -compare -apply

@@ -1,0 +1,100 @@
+package xpathviews
+
+// This file is the view-advisor facade: a workload recorder hooked into
+// the serving layer, and Advise/ApplyAdvice, which close the
+// materialization loop the paper leaves open — observe traffic, advise
+// a view set under a space budget, re-materialize, serve faster. The
+// machinery lives in internal/advisor.
+
+import (
+	"errors"
+	"fmt"
+
+	"xpathviews/internal/advisor"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/xpath"
+)
+
+// Recorder is the workload recorder (see internal/advisor). Attach one
+// with SetRecorder and enable sampling to collect the served workload.
+type Recorder = advisor.Recorder
+
+// NewRecorder creates a recorder; see advisor.NewRecorder. The store
+// argument may be nil for in-memory tallies.
+var NewRecorder = advisor.NewRecorder
+
+// AdviceOptions re-exports the advisor's tuning knobs.
+type AdviceOptions = advisor.Options
+
+// Advice re-exports the advisor's result.
+type Advice = advisor.Advice
+
+// SetRecorder attaches (or, with nil, detaches) the workload recorder.
+// Recording costs one atomic load per Answer* call while the recorder
+// is absent or its sampling is disabled.
+func (s *System) SetRecorder(r *Recorder) { s.rec.Store(r) }
+
+// WorkloadRecorder returns the attached recorder, or nil.
+func (s *System) WorkloadRecorder() *Recorder { return s.rec.Load() }
+
+// observe samples one served query into the attached recorder, if any.
+// q must be the minimized pattern; err is the serving outcome.
+func (s *System) observe(q *pattern.Pattern, viewAnswered bool, err error) {
+	r := s.rec.Load()
+	if r == nil {
+		return
+	}
+	r.RecordPattern(q, classifyOutcome(viewAnswered, err))
+}
+
+// classifyOutcome maps a serving result onto the recorder's buckets.
+func classifyOutcome(viewAnswered bool, err error) advisor.Outcome {
+	switch {
+	case err == nil && viewAnswered:
+		return advisor.Answered
+	case err == nil:
+		return advisor.FellBack
+	case errors.Is(err, ErrBudgetExceeded):
+		return advisor.BudgetExhausted
+	default:
+		return advisor.Failed
+	}
+}
+
+// Advise proposes a view set for the workload under opts.ByteBudget,
+// using the system's document. The workload typically comes from
+// WorkloadRecorder().Snapshot() or a workload file
+// (advisor.StatsFromEntries). Advise only reads the document; it does
+// not change the materialized set — pass the result to ApplyAdvice.
+func (s *System) Advise(stats []advisor.QueryStat, opts AdviceOptions) (*Advice, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return advisor.Advise(s.doc, s.enc, s.registry.Index, stats, opts)
+}
+
+// ApplyAdvice materializes the advised views, returning their IDs. Views
+// that fail to materialize (e.g. the document changed since Advise)
+// abort with an error after rolling back the views added so far.
+func (s *System) ApplyAdvice(adv *Advice) ([]int, error) {
+	ids := make([]int, 0, len(adv.Views))
+	for _, av := range adv.Views {
+		p, err := xpath.Parse(av.XPath)
+		if err != nil {
+			s.rollbackViews(ids)
+			return nil, fmt.Errorf("xpathviews: advice view %q: %w", av.XPath, err)
+		}
+		id, err := s.AddViewPattern(p, adv.PerViewLimit)
+		if err != nil {
+			s.rollbackViews(ids)
+			return nil, fmt.Errorf("xpathviews: advice view %q: %w", av.XPath, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func (s *System) rollbackViews(ids []int) {
+	for _, id := range ids {
+		s.RemoveView(id)
+	}
+}

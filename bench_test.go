@@ -7,16 +7,20 @@
 package xpathviews_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
 	"xpathviews"
+	"xpathviews/internal/advisor"
 	"xpathviews/internal/dewey"
 	"xpathviews/internal/experiments"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/rewrite"
 	"xpathviews/internal/vfilter"
+	"xpathviews/internal/workload"
+	"xpathviews/internal/xmark"
 	"xpathviews/internal/xpath"
 )
 
@@ -299,6 +303,93 @@ func BenchmarkAblationSelection(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- Advisor -------------------------------------------------------------
+
+// BenchmarkAdvise runs the full advisor pipeline (candidate generation,
+// trial materialization, greedy selection) over a 1000-call workload of
+// ~100 distinct positive XMark queries.
+func BenchmarkAdvise(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.1, Seed: 2008})
+	enc, _, err := dewey.EncodeTree(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.New(2008, xmark.Schema(), xmark.Attributes(),
+		workload.Params{MaxDepth: 4, ProbWild: 0.2, ProbDesc: 0.2, NumPred: 1, NumNestedPath: 1})
+	positives := g.Positive(doc, 100, 30000)
+	entries := make([]workload.Entry, len(positives))
+	total := 0
+	for i, q := range positives {
+		f := 200 / (i + 1) // Zipf-ish, ~1000 calls over 100 distinct queries
+		if f < 1 {
+			f = 1
+		}
+		total += f
+		entries[i] = workload.Entry{Freq: f, Query: q.String()}
+	}
+	stats := advisor.StatsFromEntries(entries)
+	b.Logf("workload: %d distinct queries, %d calls", len(entries), total)
+	b.ResetTimer()
+	var adv *advisor.Advice
+	for i := 0; i < b.N; i++ {
+		adv, err = advisor.Advise(doc, enc, nil, stats, advisor.Options{ByteBudget: 256 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(adv.Views)), "views")
+	b.ReportMetric(100*adv.Predicted.WeightedFraction, "coverage-%")
+}
+
+// BenchmarkRecorderOverhead measures the serving hot path without a
+// recorder, with a recorder attached but sampling disabled (the
+// acceptance criterion: one atomic load), and with full sampling.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.06, Seed: 41})
+	q := xpath.MustParse("//person/name")
+	ctx := context.Background()
+	opts := xpathviews.Options{Strategy: xpathviews.HV}
+	newSys := func() *xpathviews.System {
+		sys, err := xpathviews.Open(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.AddView("//person/name", 0); err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	run := func(b *testing.B, sys *xpathviews.System) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.AnswerPatternContext(ctx, q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("no-recorder", func(b *testing.B) {
+		run(b, newSys())
+	})
+	b.Run("recorder-disabled", func(b *testing.B) {
+		sys := newSys()
+		rec, err := xpathviews.NewRecorder(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.SetRecorder(rec) // sampling stays 0: one atomic load per call
+		run(b, sys)
+	})
+	b.Run("recorder-sampling", func(b *testing.B) {
+		sys := newSys()
+		rec, err := xpathviews.NewRecorder(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec.SetSampling(1)
+		sys.SetRecorder(rec)
+		run(b, sys)
+	})
 }
 
 // BenchmarkDeweyDecode measures the FST decode hot path used by both the

@@ -1,0 +1,198 @@
+package advisor_test
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"xpathviews/internal/advisor"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/storage"
+	"xpathviews/internal/workload"
+	"xpathviews/internal/xpath"
+)
+
+func mustParse(t *testing.T, s string) *pattern.Pattern {
+	t.Helper()
+	p, err := xpath.Parse(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return p
+}
+
+func TestRecorderTallies(t *testing.T) {
+	r, err := advisor.NewRecorder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSampling(1)
+	a := mustParse(t, "//person/name")
+	b := mustParse(t, "//item[.//keyword]/name")
+	for i := 0; i < 5; i++ {
+		r.RecordPattern(a, advisor.Answered)
+	}
+	r.RecordPattern(a, advisor.FellBack)
+	r.RecordPattern(b, advisor.BudgetExhausted)
+	r.RecordPattern(b, advisor.Failed)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d distinct queries, want 2", len(snap))
+	}
+	// Sorted by frequency descending: a (6) before b (2).
+	if snap[0].Freq() != 6 || snap[1].Freq() != 2 {
+		t.Fatalf("freqs = %d, %d; want 6, 2", snap[0].Freq(), snap[1].Freq())
+	}
+	if snap[0].Counts[advisor.Answered] != 5 || snap[0].Counts[advisor.FellBack] != 1 {
+		t.Fatalf("top query counts = %v", snap[0].Counts)
+	}
+	if snap[1].Counts[advisor.BudgetExhausted] != 1 || snap[1].Counts[advisor.Failed] != 1 {
+		t.Fatalf("second query counts = %v", snap[1].Counts)
+	}
+}
+
+func TestRecorderDisabledRecordsNothing(t *testing.T) {
+	r, err := advisor.NewRecorder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustParse(t, "//person/name")
+	for i := 0; i < 100; i++ {
+		r.RecordPattern(q, advisor.Answered)
+	}
+	if n := r.Len(); n != 0 {
+		t.Fatalf("disabled recorder tallied %d queries", n)
+	}
+}
+
+func TestRecorderSamplingOneInN(t *testing.T) {
+	r, err := advisor.NewRecorder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSampling(4)
+	q := mustParse(t, "//person/name")
+	for i := 0; i < 100; i++ {
+		r.RecordPattern(q, advisor.Answered)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d distinct queries, want 1", len(snap))
+	}
+	if f := snap[0].Freq(); f != 25 {
+		t.Fatalf("1-in-4 sampling of 100 calls tallied %d, want 25", f)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r, err := advisor.NewRecorder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSampling(1)
+	queries := []string{"//person/name", "//item/name", "//open_auction/seller"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := mustParse(t, queries[g%len(queries)])
+			for i := 0; i < 200; i++ {
+				r.RecordPattern(q, advisor.Outcome(i%3))
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, st := range r.Snapshot() {
+		total += st.Freq()
+	}
+	if total != 8*200 {
+		t.Fatalf("lost records under concurrency: %d of %d", total, 8*200)
+	}
+}
+
+func TestRecorderPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.log")
+	st, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := advisor.NewRecorder(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSampling(1)
+	q := mustParse(t, "//person[address]/name")
+	for i := 0; i < 7; i++ {
+		r.RecordPattern(q, advisor.Answered)
+	}
+	r.RecordPattern(q, advisor.FellBack)
+	if n := r.PersistErrors(); n != 0 {
+		t.Fatalf("%d persist errors", n)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	r2, err := advisor.NewRecorder(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r2.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("reloaded %d queries, want 1", len(snap))
+	}
+	if snap[0].Freq() != 8 || snap[0].Counts[advisor.Answered] != 7 || snap[0].Counts[advisor.FellBack] != 1 {
+		t.Fatalf("reloaded tallies wrong: %+v", snap[0])
+	}
+
+	// Reset must clear both memory and the store.
+	r2.Reset()
+	if r2.Len() != 0 {
+		t.Fatal("Reset left in-memory tallies")
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	r3, err := advisor.NewRecorder(st3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Len() != 0 {
+		t.Fatalf("Reset left %d persisted tallies", r3.Len())
+	}
+}
+
+func TestStatsEntriesRoundTrip(t *testing.T) {
+	entries := []workload.Entry{
+		{Freq: 9, Query: "//person/name"},
+		{Freq: 2, Query: "//item/name"},
+	}
+	stats := advisor.StatsFromEntries(entries)
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	for i, st := range stats {
+		if st.Freq() != entries[i].Freq || st.Query != entries[i].Query {
+			t.Fatalf("stat %d = %+v, want %+v", i, st, entries[i])
+		}
+	}
+	back := advisor.EntriesFromStats(stats)
+	for i := range entries {
+		if back[i] != entries[i] {
+			t.Fatalf("entry %d round-tripped to %+v", i, back[i])
+		}
+	}
+}

@@ -100,7 +100,7 @@ func TestNilViewsSkipped(t *testing.T) {
 // Δ-view.
 func TestRemoveRedundantKeepsDelta(t *testing.T) {
 	reg := bookRegistry(t)
-	a, _ := reg.Add(xpath.MustParse("//s[t]/p"), 0)   // Δ + t + p
+	a, _ := reg.Add(xpath.MustParse("//s[t]/p"), 0)    // Δ + t + p
 	b, _ := reg.Add(xpath.MustParse("//s[p]/f//i"), 0) // i (+ p via guarantee)
 	q := xpath.MustParse("//s[f//i][t]/p")
 	ca, cb := selection.ComputeCover(a, q), selection.ComputeCover(b, q)

@@ -6,7 +6,9 @@
 //   - Put/Get/Delete over []byte keys and values;
 //   - crash-safe reads: every record carries a length header and a
 //     checksum, and Open truncates a torn tail instead of failing;
-//   - Compact rewrites the log dropping stale versions;
+//   - Compact rewrites the log dropping stale versions, either on demand
+//     or automatically when the garbage ratio crosses a configured
+//     threshold (SetAutoCompact);
 //   - Size reports stored bytes — the measurement behind Figure 11.
 //
 // The store is safe for concurrent use.
@@ -40,6 +42,15 @@ type Store struct {
 	// automata and capped fragments).
 	mem  map[string][]byte
 	size int64
+	// liveSize is the on-disk size (headers included) the live records
+	// would occupy alone; size-len(magic)-liveSize is the garbage the log
+	// carries in stale versions and delete markers.
+	liveSize int64
+	// autoRatio > 0 arms auto-compaction: Put/Delete trigger a compaction
+	// once the garbage ratio crosses it and the log is at least autoMin
+	// bytes.
+	autoRatio float64
+	autoMin   int64
 }
 
 // Open opens or creates the store at path. A corrupt or torn tail is
@@ -97,8 +108,15 @@ func (s *Store) replay() error {
 		off += int64(n)
 		switch rec.op {
 		case opPut:
+			if old, ok := s.mem[string(rec.key)]; ok {
+				s.liveSize -= recordSize(len(rec.key), len(old))
+			}
+			s.liveSize += recordSize(len(rec.key), len(rec.val))
 			s.mem[string(rec.key)] = append([]byte(nil), rec.val...)
 		case opDelete:
+			if old, ok := s.mem[string(rec.key)]; ok {
+				s.liveSize -= recordSize(len(rec.key), len(old))
+			}
 			delete(s.mem, string(rec.key))
 		}
 	}
@@ -148,6 +166,10 @@ func readRecord(r io.Reader, scratch *[]byte) (record, int, error) {
 	return record{op: op, key: body[:kl], val: body[kl : kl+vl]}, 9 + need, nil
 }
 
+// recordSize is the on-disk footprint of one record: fixed header (9),
+// key, value, checksum (4).
+func recordSize(klen, vlen int) int64 { return int64(9 + klen + vlen + 4) }
+
 func writeRecord(w io.Writer, op byte, key, val []byte) (int, error) {
 	var fixed [9]byte
 	fixed[0] = op
@@ -181,10 +203,14 @@ func (s *Store) Put(key, value []byte) error {
 			return fmt.Errorf("storage: put: %w", err)
 		}
 	} else {
-		s.size += int64(9 + len(key) + len(value) + 4)
+		s.size += recordSize(len(key), len(value))
 	}
+	if old, ok := s.mem[string(key)]; ok {
+		s.liveSize -= recordSize(len(key), len(old))
+	}
+	s.liveSize += recordSize(len(key), len(value))
 	s.mem[string(key)] = append([]byte(nil), value...)
-	return nil
+	return s.maybeCompactLocked()
 }
 
 // Get returns the value stored under key; ok reports presence. The
@@ -210,8 +236,9 @@ func (s *Store) Delete(key []byte) error {
 			return fmt.Errorf("storage: delete: %w", err)
 		}
 	}
+	s.liveSize -= recordSize(len(key), len(s.mem[string(key)]))
 	delete(s.mem, string(key))
-	return nil
+	return s.maybeCompactLocked()
 }
 
 // Keys returns all live keys, sorted.
@@ -253,10 +280,61 @@ func (s *Store) LiveBytes() int64 {
 	return n
 }
 
+// GarbageBytes returns the log bytes occupied by stale versions and
+// delete markers — what a Compact would reclaim.
+func (s *Store) GarbageBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.garbageLocked()
+}
+
+func (s *Store) garbageLocked() int64 {
+	g := s.size - int64(len(magic)) - s.liveSize
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// SetAutoCompact arms (or, with ratio <= 0, disarms) automatic
+// compaction: after a Put or Delete, when the log is at least minBytes
+// long and garbage makes up more than ratio of it, the log is compacted
+// in place. minBytes <= 0 defaults to 4096, so small hot stores are not
+// rewritten on every overwrite.
+func (s *Store) SetAutoCompact(ratio float64, minBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if minBytes <= 0 {
+		minBytes = 4096
+	}
+	s.autoRatio = ratio
+	s.autoMin = minBytes
+}
+
+// maybeCompactLocked runs a compaction when the auto-compact threshold
+// is crossed. Caller holds s.mu.
+func (s *Store) maybeCompactLocked() error {
+	if s.autoRatio <= 0 || s.f == nil || s.size < s.autoMin {
+		return nil
+	}
+	if float64(s.garbageLocked()) <= s.autoRatio*float64(s.size) {
+		return nil
+	}
+	if err := s.compactLocked(); err != nil {
+		return fmt.Errorf("storage: auto-compact: %w", err)
+	}
+	return nil
+}
+
 // Compact rewrites the log keeping only live records.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked is Compact's body; caller holds s.mu.
+func (s *Store) compactLocked() error {
 	if s.f == nil {
 		return nil
 	}
@@ -303,6 +381,7 @@ func (s *Store) Compact() error {
 	}
 	s.f = f
 	s.size = size
+	s.liveSize = size - int64(len(magic))
 	return nil
 }
 

@@ -295,3 +295,92 @@ func TestPartialAppendRecovered(t *testing.T) {
 		})
 	}
 }
+
+func TestAutoCompact(t *testing.T) {
+	s, path := openTemp(t)
+	s.SetAutoCompact(0.5, 2048)
+
+	// Overwrite one key repeatedly: garbage accumulates until the ratio
+	// trips, then the log must shrink back to roughly the live set.
+	val := bytes.Repeat([]byte("v"), 256)
+	for i := 0; i < 200; i++ {
+		if err := s.Put([]byte("hot"), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put([]byte("cold"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	final := s.Size()
+	// 200 overwrites of a 256-byte value append ~54 KB; compaction must
+	// have kept the file well under that.
+	if final > 8<<10 {
+		t.Fatalf("auto-compaction did not shrink the log: final size %d", final)
+	}
+	// Above the min size the ratio must be back under the threshold
+	// (below it, small logs are allowed to carry garbage by design).
+	if g := s.GarbageBytes(); final >= 2048 && float64(g) > 0.5*float64(final) {
+		t.Fatalf("garbage ratio still above threshold after compaction: %d of %d", g, final)
+	}
+
+	// The compacted log must replay cleanly with the live data intact.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := storage.Open(path)
+	if err != nil {
+		t.Fatalf("reopen after auto-compact: %v", err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get([]byte("hot")); !ok || !bytes.Equal(v, val) {
+		t.Fatalf("hot key lost after compaction+replay: ok=%v len=%d", ok, len(v))
+	}
+	if v, ok := s2.Get([]byte("cold")); !ok || string(v) != "x" {
+		t.Fatalf("cold key lost after compaction+replay: %q %v", v, ok)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("replay found %d keys, want 2", s2.Len())
+	}
+
+	// Deletes count as garbage too and must also trigger compaction.
+	s2.SetAutoCompact(0.25, 1024)
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("tmp%03d", i))
+		if err := s2.Put(k, bytes.Repeat([]byte("d"), 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sz := s2.Size(); sz > 8<<10 {
+		t.Fatalf("delete churn not compacted: size %d", sz)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("churn damaged live keys: %d, want 2", s2.Len())
+	}
+}
+
+func TestAutoCompactDisabledByDefault(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		if err := s.Put([]byte("k"), bytes.Repeat([]byte("v"), 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Without SetAutoCompact the log must keep every version (seed
+	// behaviour: append-only until an explicit Compact).
+	if sz := s.Size(); sz < 50*128 {
+		t.Fatalf("log unexpectedly compacted without opt-in: size %d", sz)
+	}
+	if g := s.GarbageBytes(); g <= 0 {
+		t.Fatalf("GarbageBytes = %d, want positive after overwrites", g)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.GarbageBytes(); g != 0 {
+		t.Fatalf("GarbageBytes = %d after explicit Compact, want 0", g)
+	}
+}

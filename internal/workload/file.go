@@ -1,0 +1,86 @@
+package workload
+
+// Workload files are the advisor's interchange format: one query per
+// line, optionally preceded by an observed frequency and a tab. Lines
+// render with Entry.String and parse back with ParseEntry, so a file
+// written by Write round-trips through Read.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Entry is one workload line: an XPath query with an observed frequency.
+type Entry struct {
+	Freq  int
+	Query string
+}
+
+// String renders the entry as a workload-file line: "freq<TAB>query".
+func (e Entry) String() string {
+	f := e.Freq
+	if f < 1 {
+		f = 1
+	}
+	return fmt.Sprintf("%d\t%s", f, e.Query)
+}
+
+// ParseEntry parses one workload-file line. A bare query line means
+// frequency 1; "freq<TAB>query" carries an explicit count. Blank lines
+// and '#' comments yield ok=false.
+func ParseEntry(line string) (e Entry, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Entry{}, false, nil
+	}
+	if f, q, found := strings.Cut(line, "\t"); found {
+		n, perr := strconv.Atoi(strings.TrimSpace(f))
+		if perr != nil || n < 1 {
+			return Entry{}, false, fmt.Errorf("workload: bad frequency %q", f)
+		}
+		return Entry{Freq: n, Query: strings.TrimSpace(q)}, true, nil
+	}
+	return Entry{Freq: 1, Query: line}, true, nil
+}
+
+// Write emits the entries as a workload file.
+func Write(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a workload file, merging repeated queries by summing their
+// frequencies (first-seen order is preserved).
+func Read(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Entry
+	at := make(map[string]int)
+	for sc.Scan() {
+		e, ok, err := ParseEntry(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if i, seen := at[e.Query]; seen {
+			out[i].Freq += e.Freq
+			continue
+		}
+		at[e.Query] = len(out)
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"xpathviews/internal/workload"
+	"xpathviews/internal/xmark"
+)
+
+func TestEntryRoundTrip(t *testing.T) {
+	in := []workload.Entry{
+		{Freq: 40, Query: "//open_auction[bidder]/seller"},
+		{Freq: 1, Query: "//person[address]/name"},
+		{Freq: 7, Query: "//item[.//keyword]/name"},
+	}
+	var buf strings.Builder
+	if err := workload.Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := workload.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip changed entry count: %d → %d", len(in), len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d changed: %+v → %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestParseEntryForms(t *testing.T) {
+	cases := []struct {
+		line string
+		want workload.Entry
+		ok   bool
+		err  bool
+	}{
+		{"//a/b", workload.Entry{Freq: 1, Query: "//a/b"}, true, false},
+		{"12\t//a/b", workload.Entry{Freq: 12, Query: "//a/b"}, true, false},
+		{"  3\t //a ", workload.Entry{Freq: 3, Query: "//a"}, true, false},
+		{"", workload.Entry{}, false, false},
+		{"   ", workload.Entry{}, false, false},
+		{"# comment", workload.Entry{}, false, false},
+		{"x\t//a", workload.Entry{}, false, true},
+		{"0\t//a", workload.Entry{}, false, true},
+	}
+	for _, tc := range cases {
+		e, ok, err := workload.ParseEntry(tc.line)
+		if (err != nil) != tc.err || ok != tc.ok {
+			t.Fatalf("ParseEntry(%q) = ok=%v err=%v, want ok=%v err=%v", tc.line, ok, err, tc.ok, tc.err)
+		}
+		if ok && e != tc.want {
+			t.Fatalf("ParseEntry(%q) = %+v, want %+v", tc.line, e, tc.want)
+		}
+	}
+}
+
+func TestReadMergesDuplicates(t *testing.T) {
+	src := "2\t//a/b\n# interleaved comment\n//a/b\n5\t//c\n"
+	out, err := workload.Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d entries, want 2 (duplicates merged)", len(out))
+	}
+	if out[0] != (workload.Entry{Freq: 3, Query: "//a/b"}) {
+		t.Fatalf("merged entry = %+v", out[0])
+	}
+	if out[1] != (workload.Entry{Freq: 5, Query: "//c"}) {
+		t.Fatalf("second entry = %+v", out[1])
+	}
+}
+
+// TestGeneratedQueriesRoundTrip checks that generator output survives a
+// workload file round trip verbatim — the property the advisor CLI
+// depends on.
+func TestGeneratedQueriesRoundTrip(t *testing.T) {
+	g := workload.New(21, xmark.Schema(), xmark.Attributes(), params())
+	var entries []workload.Entry
+	for i := 0; i < 100; i++ {
+		entries = append(entries, workload.Entry{Freq: i%5 + 1, Query: g.Query().String()})
+	}
+	var buf strings.Builder
+	if err := workload.Write(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	out, err := workload.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate generated queries merge, so compare via maps.
+	want := make(map[string]int)
+	for _, e := range entries {
+		want[e.Query] += e.Freq
+	}
+	got := make(map[string]int)
+	for _, e := range out {
+		got[e.Query] += e.Freq
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct queries changed: %d → %d", len(want), len(got))
+	}
+	for q, f := range want {
+		if got[q] != f {
+			t.Fatalf("query %q freq %d → %d", q, f, got[q])
+		}
+	}
+}

@@ -2,11 +2,13 @@ package workload_test
 
 import (
 	"testing"
+	"time"
 
 	"xpathviews/internal/engine"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/workload"
 	"xpathviews/internal/xmark"
+	"xpathviews/internal/xmltree"
 )
 
 func params() workload.Params {
@@ -77,6 +79,27 @@ func TestPositive(t *testing.T) {
 		if len(engine.Answers(doc, q)) == 0 {
 			t.Fatalf("Positive returned an empty-result query: %s", q)
 		}
+	}
+}
+
+// TestPositiveRespectsMaxTries runs Positive against a document no
+// XMark-schema query can match: it must give up after maxTries instead
+// of spinning, and return whatever it found (nothing).
+func TestPositiveRespectsMaxTries(t *testing.T) {
+	doc, err := xmltree.ParseString("<nothing_in_the_schema/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.New(13, xmark.Schema(), xmark.Attributes(), params())
+	done := make(chan []*pattern.Pattern, 1)
+	go func() { done <- g.Positive(doc, 5, 500) }()
+	select {
+	case qs := <-done:
+		if len(qs) != 0 {
+			t.Fatalf("Positive found %d matches on an unmatchable document", len(qs))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Positive did not return within 30s — maxTries not respected")
 	}
 }
 

@@ -154,14 +154,26 @@ func (s *System) AnswerPatternContext(ctx context.Context, q *pattern.Pattern, o
 	}
 	defer cancel()
 	b := opts.budget(ctx)
+	qm := pattern.Minimize(q)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.answerLocked(pattern.Minimize(q), opts.Strategy, b)
+	res, err := s.answerLocked(qm, opts.Strategy, b)
+	s.observe(qm, err == nil && isViewStrategy(opts.Strategy), err)
 	if err != nil {
 		return nil, err
 	}
 	truncate(res, opts.MaxAnswers)
 	return res, nil
+}
+
+// isViewStrategy reports whether the strategy answers from materialized
+// views (as opposed to direct evaluation on the document).
+func isViewStrategy(s Strategy) bool {
+	switch s {
+	case MN, MV, HV, CV:
+		return true
+	}
+	return false
 }
 
 // SelectContext runs view selection only, with cancellation and budgets.
@@ -220,6 +232,7 @@ func (s *System) AnswerPatternResilient(ctx context.Context, q *pattern.Pattern,
 			res.Degraded = len(reasons) > 0
 			res.DegradedReasons = reasons
 			truncate(res, opts.MaxAnswers)
+			s.observe(q, viewRung(rung), nil)
 			return res, nil
 		}
 		if !degradable(err) {
@@ -231,8 +244,20 @@ func (s *System) AnswerPatternResilient(ctx context.Context, q *pattern.Pattern,
 	if lastErr == nil {
 		lastErr = ErrNotAnswerable // empty chain cannot happen, but be safe
 	}
+	s.observe(q, false, lastErr)
 	return nil, fmt.Errorf("xpathviews: all fallback rungs failed (%s): %w",
 		strings.Join(reasons, "; "), lastErr)
+}
+
+// viewRung reports whether a fallback rung answers from materialized
+// views (equivalent rewriting), as opposed to direct or contained
+// evaluation.
+func viewRung(r Rung) bool {
+	switch r {
+	case RungHV, RungMV, RungCV, RungMN:
+		return true
+	}
+	return false
 }
 
 // answerRungLocked answers one fallback rung under s.mu (read).

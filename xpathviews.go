@@ -30,7 +30,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"xpathviews/internal/advisor"
 	"xpathviews/internal/budget"
 	"xpathviews/internal/dewey"
 	"xpathviews/internal/engine"
@@ -103,6 +105,11 @@ type System struct {
 	// initialization race-free under the read lock.
 	bfOnce sync.Once
 	bf     *engine.BF
+
+	// rec is the optional workload recorder (see advise.go). An atomic
+	// pointer keeps the recorder-absent answering path at one atomic
+	// load — no lock, no allocation.
+	rec atomic.Pointer[advisor.Recorder]
 }
 
 // Open prepares a system over an in-memory document, deriving the FST
