@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo
+.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a short fuzz smoke of the XPath parser.
@@ -23,6 +23,13 @@ fuzz-smoke:
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# bench runs the serving hot-path benchmarks (plan cache hit/miss and
+# sequential-vs-parallel rewrite) with allocation stats, then refreshes
+# the machine-readable speedup report in BENCH_serving.json.
+bench:
+	$(GO) test -run='^$$' -bench='AnswerPlanCache|AnswerParallel' -benchmem -count=1 .
+	XPV_BENCH_REPORT=1 $(GO) test -run=TestServingBenchReport -count=1 -v .
 
 # advise-demo generates a positive workload and runs the advisor against
 # the naive top-k baseline at the same byte budget.

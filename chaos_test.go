@@ -37,8 +37,11 @@ var chaosStrategies = []xpathviews.Strategy{
 func sweep(t *testing.T, sys *xpathviews.System, point string) {
 	t.Helper()
 	for _, strat := range chaosStrategies {
+		// NoPlanCache: the sweep asserts each stage's fault point fires,
+		// so every call must run the full uncached pipeline (a plan-cache
+		// hit legitimately skips filtering and selection).
 		res, err := sys.AnswerContext(context.Background(), paperdata.QueryE,
-			xpathviews.Options{Strategy: strat})
+			xpathviews.Options{Strategy: strat, NoPlanCache: true})
 		if err == nil {
 			if res == nil {
 				t.Fatalf("[%s] %v: nil result without error", point, strat)
@@ -116,7 +119,8 @@ func TestChaosResilientDegrades(t *testing.T) {
 	for _, mode := range []faults.Mode{faults.Error, faults.Panic} {
 		defer faults.DisarmAll()
 		faults.Arm("selection.heuristic", mode)
-		res, err := sys.AnswerResilient(context.Background(), paperdata.QueryE, xpathviews.Options{})
+		res, err := sys.AnswerResilient(context.Background(), paperdata.QueryE,
+			xpathviews.Options{NoPlanCache: true})
 		if err != nil {
 			t.Fatalf("mode %v: resilient chain failed outright: %v", mode, err)
 		}
@@ -138,7 +142,8 @@ func TestChaosResilientDegrades(t *testing.T) {
 	defer faults.DisarmAll()
 	faults.Arm("vfilter.filtering", faults.Panic)
 	faults.Arm("rewrite.contained", faults.Error)
-	res, err := sys.AnswerResilient(context.Background(), paperdata.QueryE, xpathviews.Options{})
+	res, err := sys.AnswerResilient(context.Background(), paperdata.QueryE,
+		xpathviews.Options{NoPlanCache: true})
 	if err != nil {
 		t.Fatalf("resilient chain failed outright: %v", err)
 	}

@@ -104,6 +104,127 @@ func TestConcurrentAnswerAndMutate(t *testing.T) {
 	}
 }
 
+// TestConcurrentAnswerPlanCache hammers AnswerContext from 64 goroutines
+// on a mixed hit/miss workload: hot queries repeat (plan-cache hits),
+// cold ones rotate through unanswerable spellings (misses and cached
+// negatives), and a mutator churns the view set so generations bump and
+// cached plans invalidate mid-flight. Under -race this exercises the
+// sharded cache, singleflight coalescing and the parallel rewrite
+// together.
+func TestConcurrentAnswerPlanCache(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.06, Seed: 53})
+	sys, err := xpathviews.Open(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{
+		"//person/address/city",
+		"//open_auction/interval/start",
+		"//closed_auction/price",
+		"//person/profile/age",
+		"//person[address]/name",
+	} {
+		if _, err := sys.AddView(v, xpathviews.DefaultFragmentLimit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := []string{
+		"//person/address/city",
+		"//person[address/city]/name",
+		"//closed_auction/price",
+		"//person/profile/age",
+	}
+	cold := []string{
+		"//item/location",
+		"//open_auction/bidder/date",
+		"//person/phone",
+		"//category/name",
+	}
+
+	var answerers sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		answerers.Add(1)
+		go func(g int) {
+			defer answerers.Done()
+			for i := 0; i < 20; i++ {
+				q := hot[(g+i)%len(hot)]
+				if i%5 == 4 { // every fifth call is a cold (unanswerable) query
+					q = cold[(g+i)%len(cold)]
+				}
+				strat := xpathviews.MV
+				if g%2 == 1 {
+					strat = xpathviews.HV
+				}
+				_, err := sys.AnswerContext(context.Background(), q,
+					xpathviews.Options{Strategy: strat, MaxSteps: 1 << 20})
+				if err != nil && !errors.Is(err, xpathviews.ErrNotAnswerable) &&
+					!errors.Is(err, xpathviews.ErrBudgetExceeded) {
+					t.Errorf("answer %s: %v", q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Mutator: bump the plan generation for as long as the hammering
+	// lasts, so cached plans go stale while other goroutines serve from
+	// them.
+	stormDone := make(chan struct{})
+	var mutator sync.WaitGroup
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		for {
+			select {
+			case <-stormDone:
+				return
+			default:
+			}
+			id, err := sys.AddView("//open_auction/bidder/increase", 0)
+			if err != nil {
+				t.Errorf("AddView: %v", err)
+				return
+			}
+			sys.RemoveView(id)
+		}
+	}()
+	answerers.Wait()
+	close(stormDone)
+	mutator.Wait()
+
+	st := sys.PlanCacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("workload was not mixed hit/miss: %+v", st)
+	}
+	// Deterministic invalidation check: one more generation bump, then a
+	// warm query must notice its plan is stale.
+	id, err := sys.AddView("//open_auction/bidder/increase", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RemoveView(id)
+	if _, err := sys.AnswerContext(context.Background(), hot[0],
+		xpathviews.Options{Strategy: xpathviews.MV}); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := sys.PlanCacheStats(); st2.Invalidations <= st.Invalidations {
+		t.Fatalf("generation bump invalidated nothing: %+v -> %+v", st, st2)
+	}
+	// Correctness after the storm.
+	for _, q := range hot {
+		base, err := sys.Answer(q, xpathviews.BF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Answer(q, xpathviews.HV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(res.Codes(), ",") != strings.Join(base.Codes(), ",") {
+			t.Fatalf("%s: answers drifted after concurrent hammer", q)
+		}
+	}
+}
+
 // TestCompactFilterEquivalence: after an add/remove sequence leaves
 // tombstones in the VFILTER NFA, compaction must not change any query's
 // candidate set.

@@ -7,12 +7,18 @@
 //
 // A nil *B is valid everywhere and means "unlimited, uncancellable" —
 // legacy entry points pass nil so the hot paths stay check-free.
+//
+// Charging is atomic: one budget may be shared by the parallel rewrite's
+// worker goroutines (per-view refinement, per-fragment extraction) and
+// the configured caps stay exact — every unit is debited exactly once,
+// and the first debit that crosses zero reports exhaustion.
 package budget
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // ErrBudget reports that a configured resource budget ran out before the
@@ -32,15 +38,15 @@ var (
 // contexts returning within microseconds without measurable overhead.
 const checkInterval = 256
 
-// B tracks one call's remaining budgets. It is owned by a single
-// goroutine (the query's); it must not be shared across goroutines.
+// B tracks one call's remaining budgets. It is safe for concurrent use:
+// the rewrite stage shares one B across its worker pool.
 type B struct {
 	ctx        context.Context
 	stepBound  bool
-	steps      int64
 	homBound   bool
-	homs       int64
-	sinceCheck int64
+	steps      atomic.Int64
+	homs       atomic.Int64
+	sinceCheck atomic.Int64
 }
 
 // New builds a budget over ctx. maxSteps caps cheap work units, maxHoms
@@ -53,11 +59,11 @@ func New(ctx context.Context, maxSteps, maxHoms int64) *B {
 	b := &B{ctx: ctx}
 	if maxSteps > 0 {
 		b.stepBound = true
-		b.steps = maxSteps
+		b.steps.Store(maxSteps)
 	}
 	if maxHoms > 0 {
 		b.homBound = true
-		b.homs = maxHoms
+		b.homs.Store(maxHoms)
 	}
 	return b
 }
@@ -69,15 +75,11 @@ func (b *B) Step(n int) error {
 	if b == nil {
 		return nil
 	}
-	if b.stepBound {
-		b.steps -= int64(n)
-		if b.steps < 0 {
-			return ErrSteps
-		}
+	if b.stepBound && b.steps.Add(-int64(n)) < 0 {
+		return ErrSteps
 	}
-	b.sinceCheck += int64(n)
-	if b.sinceCheck >= checkInterval {
-		b.sinceCheck = 0
+	if b.sinceCheck.Add(int64(n)) >= checkInterval {
+		b.sinceCheck.Store(0)
 		if err := b.ctx.Err(); err != nil {
 			return err
 		}
@@ -94,11 +96,8 @@ func (b *B) Hom() error {
 	if err := b.ctx.Err(); err != nil {
 		return err
 	}
-	if b.homBound {
-		b.homs--
-		if b.homs < 0 {
-			return ErrHoms
-		}
+	if b.homBound && b.homs.Add(-1) < 0 {
+		return ErrHoms
 	}
 	return nil
 }
@@ -111,10 +110,10 @@ func (b *B) Err() error {
 	if err := b.ctx.Err(); err != nil {
 		return err
 	}
-	if b.stepBound && b.steps <= 0 {
+	if b.stepBound && b.steps.Load() <= 0 {
 		return ErrSteps
 	}
-	if b.homBound && b.homs <= 0 {
+	if b.homBound && b.homs.Load() <= 0 {
 		return ErrHoms
 	}
 	return nil

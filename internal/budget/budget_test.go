@@ -3,6 +3,8 @@ package budget_test
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"xpathviews/internal/budget"
@@ -77,5 +79,36 @@ func TestBigStepExhaustsAtOnce(t *testing.T) {
 	b := budget.New(context.Background(), 100, 0)
 	if err := b.Step(1000); !errors.Is(err, budget.ErrSteps) {
 		t.Fatalf("oversized step returned %v", err)
+	}
+}
+
+// TestConcurrentStepExactness shares one budget across goroutines (as the
+// parallel rewrite does) and verifies the cap is exact: the number of
+// successful unit debits equals the configured budget.
+func TestConcurrentStepExactness(t *testing.T) {
+	const cap = 10_000
+	b := budget.New(context.Background(), cap, cap)
+	var ok, okHoms atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cap; i++ {
+				if b.Step(1) == nil {
+					ok.Add(1)
+				}
+				if b.Hom() == nil {
+					okHoms.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ok.Load(); got != cap {
+		t.Fatalf("successful steps = %d, want exactly %d", got, cap)
+	}
+	if got := okHoms.Load(); got != cap {
+		t.Fatalf("successful homs = %d, want exactly %d", got, cap)
 	}
 }

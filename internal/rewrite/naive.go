@@ -29,10 +29,12 @@ func ExecuteNaive(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) 
 	res := &Result{}
 
 	refined := make([]refinedView, len(covers))
+	defer releaseRefined(refined)
 	for i, c := range covers {
-		if err := refineView(q, c, fst, &refined[i], res, nil); err != nil {
+		if err := refineView(q, c, fst, &refined[i], nil, nil); err != nil {
 			return nil, err
 		}
+		res.FragmentsScanned += refined[i].scanned
 		if len(refined[i].frags) == 0 {
 			return res, nil
 		}
@@ -61,7 +63,7 @@ func ExecuteNaive(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) 
 	}
 	rec(0)
 	res.FragmentsJoined = len(joined)
-	if err := extract(q, covers[deltaIdx], joined, res, nil); err != nil {
+	if err := extract(q, covers[deltaIdx], joined, res, nil, 1); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -1,0 +1,158 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/rewrite"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xpath"
+)
+
+// TestParallelMatchesSequentialPaper is the differential acceptance test
+// on the paper's running example: Example 5.1's rewriting must return the
+// same sorted code list under the sequential path (MaxWorkers 1) and
+// every parallel width.
+func TestParallelMatchesSequentialPaper(t *testing.T) {
+	tree := paperdata.BookTree()
+	enc, err := dewey.Encode(tree, paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := views.NewRegistry(tree, enc)
+	reg.Add(xpath.MustParse(paperdata.ViewV1), 0)
+	reg.Add(xpath.MustParse(paperdata.ViewV2), 0)
+	q := xpath.MustParse(paperdata.QueryE)
+	sel, err := selection.Minimum(q, reg.ViewList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := rewrite.ExecuteOptions(q, sel, enc.FST(), nil, rewrite.Options{MaxWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Answers) != 5 {
+		t.Fatalf("sequential baseline drifted: %v", seq.Codes())
+	}
+	for _, workers := range []int{0, 2, 3, 8} {
+		par, err := rewrite.ExecuteOptions(q, sel, enc.FST(), nil, rewrite.Options{MaxWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !sameCodes(seq, par) {
+			t.Fatalf("workers=%d: parallel %v != sequential %v", workers, par.Codes(), seq.Codes())
+		}
+		if par.FragmentsScanned != seq.FragmentsScanned {
+			t.Fatalf("workers=%d: scanned %d fragments, sequential scanned %d",
+				workers, par.FragmentsScanned, seq.FragmentsScanned)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialXMark runs the same differential property
+// over an XMark document and a workload of answerable queries: for every
+// (query, strategy) the minimum selection declares answerable, the
+// parallel rewrite's Codes() must equal both the sequential rewrite's and
+// direct evaluation's.
+func TestParallelMatchesSequentialXMark(t *testing.T) {
+	tree := xmark.Generate(xmark.Config{Scale: 0.08, Seed: 61})
+	enc, fst, err := dewey.EncodeTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := views.NewRegistry(tree, enc)
+	for _, src := range []string{
+		"//person/address/city",
+		"//person[address]/name",
+		"//person/profile/age",
+		"//open_auction/interval/start",
+		"//open_auction/bidder/increase",
+		"//closed_auction/price",
+		"//person/name",
+	} {
+		if _, err := reg.Add(xpath.MustParse(src), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		"//person/address/city",
+		"//person[address/city]/name",
+		"//person[address][profile/age]/name",
+		"//open_auction/bidder/increase",
+		"//closed_auction/price",
+		"//person[name]/profile/age",
+	}
+	answerable := 0
+	for _, src := range queries {
+		q := pattern.Minimize(xpath.MustParse(src))
+		sel, err := selection.Minimum(q, reg.ViewList)
+		if err != nil {
+			continue
+		}
+		answerable++
+		seq, err := rewrite.ExecuteOptions(q, sel, fst, nil, rewrite.Options{MaxWorkers: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", src, err)
+		}
+		if !codesMatch(t, enc, engine.Answers(tree, q), seq) {
+			t.Fatalf("%s: sequential rewrite disagrees with direct evaluation", src)
+		}
+		for _, workers := range []int{0, 2, 5} {
+			par, err := rewrite.ExecuteOptions(q, sel, fst, nil, rewrite.Options{MaxWorkers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", src, workers, err)
+			}
+			if !sameCodes(seq, par) {
+				t.Fatalf("%s workers=%d: parallel %v != sequential %v",
+					src, workers, par.Codes(), seq.Codes())
+			}
+		}
+	}
+	if answerable < 4 {
+		t.Fatalf("only %d answerable queries; differential test too weak", answerable)
+	}
+}
+
+// TestCodesMemoized is the regression test for Result.Codes: the second
+// call returns the identical (already sorted) slice with zero further
+// allocation.
+func TestCodesMemoized(t *testing.T) {
+	tree := paperdata.BookTree()
+	enc, err := dewey.Encode(tree, paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := views.NewRegistry(tree, enc)
+	reg.Add(xpath.MustParse(paperdata.ViewV1), 0)
+	reg.Add(xpath.MustParse(paperdata.ViewV2), 0)
+	q := xpath.MustParse(paperdata.QueryE)
+	sel, err := selection.Minimum(q, reg.ViewList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rewrite.Execute(q, sel, enc.FST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Codes()
+	if len(first) == 0 {
+		t.Fatal("no codes on the running example")
+	}
+	for i := 1; i < len(first); i++ {
+		if dewey.Compare(first[i-1], first[i]) > 0 {
+			t.Fatalf("codes not sorted: %v", first)
+		}
+	}
+	second := res.Codes()
+	if &first[0] != &second[0] || len(first) != len(second) {
+		t.Fatal("Codes() rebuilt the slice instead of returning the memo")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = res.Codes() }); allocs != 0 {
+		t.Fatalf("repeated Codes() allocates %.1f objects per call, want 0", allocs)
+	}
+}

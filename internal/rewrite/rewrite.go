@@ -20,6 +20,9 @@ package rewrite
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"xpathviews/internal/budget"
 	"xpathviews/internal/dewey"
@@ -52,16 +55,37 @@ type Result struct {
 	// Stats for benchmarking/ablation.
 	FragmentsScanned int
 	FragmentsJoined  int
+	// Per-stage wall time. Refine covers stages 1+2 and Extract stage 4
+	// (the two parallelizable stages); Join covers the sequential virtual
+	// tree build and holistic join of stage 3. BENCH_serving.json uses
+	// the split to report the rewrite's parallelizable fraction.
+	RefineNanos  int64
+	JoinNanos    int64
+	ExtractNanos int64
+
+	// codes memoizes Codes(): the pipeline sorts answers once at
+	// construction (sortAnswers), so repeated calls should not re-sort or
+	// re-allocate. Not synchronized — a Result belongs to one query.
+	codes []dewey.Code
 }
 
-// Codes returns the answers' codes, sorted in document order.
+// Codes returns the answers' codes, sorted in document order. The slice
+// is computed once and cached; callers must not modify it.
 func (r *Result) Codes() []dewey.Code {
-	out := make([]dewey.Code, len(r.Answers))
-	for i, a := range r.Answers {
-		out[i] = a.Code
+	if r.codes == nil {
+		out := make([]dewey.Code, len(r.Answers))
+		for i, a := range r.Answers {
+			out[i] = a.Code
+		}
+		// Answers are sorted at construction by sortAnswers; sorting the
+		// extracted codes is a no-op pass then, but keeps Codes correct
+		// for hand-built Results too.
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return dewey.Compare(out[i], out[j]) < 0 }) {
+			sort.Slice(out, func(i, j int) bool { return dewey.Compare(out[i], out[j]) < 0 })
+		}
+		r.codes = out
 	}
-	sort.Slice(out, func(i, j int) bool { return dewey.Compare(out[i], out[j]) < 0 })
-	return out
+	return r.codes
 }
 
 // Execute answers q from the selected covers' materialized fragments.
@@ -77,6 +101,16 @@ func Execute(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) (*Res
 // embedding attempt, extraction one step per fragment. A nil budget
 // never aborts on its own, but the stage fault points may.
 func ExecuteBudget(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST, b *budget.B) (*Result, error) {
+	return ExecuteOptions(q, sel, fst, b, Options{})
+}
+
+// ExecuteOptions is ExecuteBudget with explicit execution options: the
+// per-view refinement of stage 1+2 and the per-fragment extraction of
+// stage 4 fan out across a bounded worker pool (see Options.MaxWorkers),
+// sharing the (atomically charged) budget. Results are identical to the
+// sequential path — answers are merged in deterministic order and sorted
+// by extended Dewey code either way.
+func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST, b *budget.B, opt Options) (*Result, error) {
 	if len(sel.Covers) == 0 {
 		return nil, fmt.Errorf("rewrite: empty selection")
 	}
@@ -90,24 +124,38 @@ func ExecuteBudget(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST,
 	covers := sel.Covers
 	res := &Result{}
 
-	// Stage 1+2: refine fragments and filter by decoded root paths.
+	// Stage 1+2: refine fragments and filter by decoded root paths, one
+	// worker per view; any view refining to zero fragments cancels the
+	// others early (the query's answer is certainly empty).
 	if err := fpRefine.Fire(); err != nil {
 		return nil, err
 	}
 	refined := make([]refinedView, len(covers))
-	for i, c := range covers {
-		if err := refineView(q, c, fst, &refined[i], res, b); err != nil {
-			return nil, err
-		}
-		if len(refined[i].frags) == 0 {
-			return res, nil // some view contributes nothing → empty result
-		}
+	defer releaseRefined(refined)
+	refWorkers := opt.workersFor(len(covers))
+	if sel.TotalFragments() < minParallelFrags {
+		refWorkers = 1 // too little scan work to pay for the fan-out
+	}
+	stage := time.Now()
+	empty, err := refineAll(q, covers, fst, refined, b, refWorkers)
+	res.RefineNanos = int64(time.Since(stage))
+	for i := range refined {
+		res.FragmentsScanned += refined[i].scanned
+	}
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return res, nil // some view contributes nothing → empty result
 	}
 
 	// Fast path: a strong Δ-cover answers alone (condition 3, §IV-A).
 	dc := covers[deltaIdx]
 	if dc.Strong && len(covers) == 1 {
-		if err := extract(q, dc, refined[deltaIdx].frags, res, b); err != nil {
+		stage = time.Now()
+		err := extract(q, dc, refined[deltaIdx].frags, res, b, opt.workersFor(len(refined[deltaIdx].frags)))
+		res.ExtractNanos = int64(time.Since(stage))
+		if err != nil {
 			return nil, err
 		}
 		return res, nil
@@ -117,16 +165,21 @@ func ExecuteBudget(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST,
 	if err := fpJoin.Fire(); err != nil {
 		return nil, err
 	}
+	stage = time.Now()
 	vt, anchors := buildVirtual(fst, refined)
 	joined, err := joinUpper(q, covers, refined, vt, anchors, deltaIdx, b)
 	putVtree(vt)
+	res.JoinNanos = int64(time.Since(stage))
 	if err != nil {
 		return nil, err
 	}
 	res.FragmentsJoined = len(joined)
 
 	// Stage 4: extraction from the Δ-view's joined fragments.
-	if err := extract(q, dc, joined, res, b); err != nil {
+	stage = time.Now()
+	err = extract(q, dc, joined, res, b, opt.workersFor(len(joined)))
+	res.ExtractNanos = int64(time.Since(stage))
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -137,11 +190,56 @@ func ExecuteBudget(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST,
 type refinedView struct {
 	frags  []*views.Fragment
 	labels [][]string
+	// scanned counts fragments this view's refinement looked at.
+	scanned int
+	// sc is the pooled scratch backing frags/labels/slab; released by
+	// releaseRefined once the query is done with the refined sets.
+	sc *refineScratch
+}
+
+// refineScratch is the pooled allocation unit of one view's refinement:
+// the label slab plus the kept-fragment slices. Pooling these keeps the
+// steady-state per-query allocation count flat, like putVtree does for
+// the join arena.
+type refineScratch struct {
+	slab   []string
+	frags  []*views.Fragment
+	labels [][]string
+}
+
+var refineScratchPool = sync.Pool{New: func() any { return new(refineScratch) }}
+
+// releaseRefined returns every view's scratch to the pool, dropping
+// fragment references so pooled scratch does not pin view data.
+func releaseRefined(refined []refinedView) {
+	for i := range refined {
+		sc := refined[i].sc
+		if sc == nil {
+			continue
+		}
+		refined[i].sc = nil
+		refined[i].frags = nil
+		refined[i].labels = nil
+		for j := range sc.frags {
+			sc.frags[j] = nil
+		}
+		for j := range sc.labels {
+			sc.labels[j] = nil
+		}
+		sc.frags = sc.frags[:0]
+		sc.labels = sc.labels[:0]
+		// Slab strings are FST-interned labels that live as long as the
+		// system; retaining the backing array pins nothing extra.
+		sc.slab = sc.slab[:0]
+		refineScratchPool.Put(sc)
+	}
 }
 
 // refineView applies the compensating pattern and the root-path filter to
-// every fragment of one cover.
-func refineView(q *pattern.Pattern, c *selection.Cover, fst *dewey.FST, out *refinedView, res *Result, b *budget.B) error {
+// every fragment of one cover. stop, when non-nil, is a cooperative
+// early-cancel flag checked per fragment (set by a sibling view that
+// refined to zero fragments, making the join's result empty).
+func refineView(q *pattern.Pattern, c *selection.Cover, fst *dewey.FST, out *refinedView, b *budget.B, stop *atomic.Bool) error {
 	comp := compensating(q, c.X)
 	// The root-path filter already certifies x's own label; when the
 	// compensating pattern has no predicates below x, refinement is a
@@ -151,15 +249,27 @@ func refineView(q *pattern.Pattern, c *selection.Cover, fst *dewey.FST, out *ref
 	// One label slab for all fragments of the view; kept label-paths are
 	// sub-slices (when the slab grows, older backing arrays stay alive
 	// through them, which is exactly what we want).
-	slab := make([]string, 0, 8*len(c.View.Fragments))
-	out.frags = make([]*views.Fragment, 0, len(c.View.Fragments))
-	out.labels = make([][]string, 0, len(c.View.Fragments))
+	sc := refineScratchPool.Get().(*refineScratch)
+	out.sc = sc
+	slab := sc.slab[:0]
+	out.frags = sc.frags[:0]
+	out.labels = sc.labels[:0]
+	defer func() {
+		// Grown slices flow back into the scratch so their capacity is
+		// kept for the next query.
+		sc.slab = slab
+		sc.frags = out.frags
+		sc.labels = out.labels
+	}()
 	for fi := range c.View.Fragments {
 		f := &c.View.Fragments[fi]
+		if stop != nil && stop.Load() {
+			return nil
+		}
 		if err := b.Step(1); err != nil {
 			return err
 		}
-		res.FragmentsScanned++
+		out.scanned++
 		start := len(slab)
 		var err error
 		slab, err = fst.DecodeAppend(f.Code, slab)

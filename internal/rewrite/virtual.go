@@ -3,6 +3,7 @@ package rewrite
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xpathviews/internal/budget"
 	"xpathviews/internal/dewey"
@@ -157,8 +158,11 @@ func buildVirtual(fst *dewey.FST, refined []refinedView) (*vtree, [][]int32) {
 
 // extract runs the answer-extraction compensating query on the Δ-view's
 // joined fragments (§V's final step) and appends results, charging one
-// budget step per fragment.
-func extract(q *pattern.Pattern, dc *selection.Cover, frags []*views.Fragment, res *Result, b *budget.B) error {
+// budget step per fragment. With workers > 1 the per-fragment
+// compensating queries run on a worker pool; per-fragment answer lists
+// are merged in fragment order, so the deduplicated, sorted result is
+// identical to the sequential path's.
+func extract(q *pattern.Pattern, dc *selection.Cover, frags []*views.Fragment, res *Result, b *budget.B, workers int) error {
 	if err := fpExtract.Fire(); err != nil {
 		return err
 	}
@@ -176,27 +180,97 @@ func extract(q *pattern.Pattern, dc *selection.Cover, frags []*views.Fragment, r
 		sortAnswers(res)
 		return nil
 	}
+	if workers > 1 && len(frags) >= minParallelFrags {
+		if err := extractParallel(comp, frags, res, b, workers); err != nil {
+			return err
+		}
+		sortAnswers(res)
+		return nil
+	}
 	seen := make(map[string]bool)
 	for _, f := range frags {
 		if err := b.Step(1); err != nil {
 			return err
 		}
-		answers := engine.AnswersAtRoot(f.Tree, comp)
-		for _, a := range answers {
-			ord := f.Tree.Ord(a)
-			var code dewey.Code
-			if ord < len(f.NodeCodes) {
-				code = f.NodeCodes[ord]
-			}
+		appendFragAnswers(comp, f, &res.Answers, seen)
+	}
+	sortAnswers(res)
+	return nil
+}
+
+// minParallelFrags is the fragment count below which fan-out overhead
+// (goroutines, per-slot slices) outweighs the per-fragment match work.
+const minParallelFrags = 4
+
+// appendFragAnswers runs the compensating query on one fragment and
+// appends its (not yet globally deduplicated) answers. seen, when
+// non-nil, dedups across fragments as the sequential path does.
+func appendFragAnswers(comp *pattern.Pattern, f *views.Fragment, out *[]Answer, seen map[string]bool) {
+	answers := engine.AnswersAtRoot(f.Tree, comp)
+	for _, a := range answers {
+		ord := f.Tree.Ord(a)
+		var code dewey.Code
+		if ord < len(f.NodeCodes) {
+			code = f.NodeCodes[ord]
+		}
+		if seen != nil {
 			key := code.String()
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			res.Answers = append(res.Answers, Answer{Code: code, Node: a})
+		}
+		*out = append(*out, Answer{Code: code, Node: a})
+	}
+}
+
+// extractParallel fans the per-fragment compensating queries out over a
+// worker pool. Workers fill their own fragment's slot; the merge walks
+// slots in fragment order with the same dedup rule as the sequential
+// loop, keeping the surviving Answer for a duplicated code identical.
+func extractParallel(comp *pattern.Pattern, frags []*views.Fragment, res *Result, b *budget.B, workers int) error {
+	slots := make([][]Answer, len(frags))
+	var (
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		stop    atomic.Bool
+		errSlot atomic.Pointer[error]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(frags) || stop.Load() {
+					return
+				}
+				if err := b.Step(1); err != nil {
+					p := new(error)
+					*p = err
+					errSlot.CompareAndSwap(nil, p)
+					stop.Store(true)
+					return
+				}
+				appendFragAnswers(comp, frags[i], &slots[i], nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := errSlot.Load(); p != nil {
+		return *p
+	}
+	seen := make(map[string]bool)
+	for _, slot := range slots {
+		for _, a := range slot {
+			key := a.Code.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			res.Answers = append(res.Answers, a)
 		}
 	}
-	sortAnswers(res)
 	return nil
 }
 

@@ -1,0 +1,167 @@
+package xpathviews
+
+// This file is the serving layer's query-plan cache: the expensive
+// query-dependent but data-independent work — parsing, VFILTER filtering
+// (§III) and view selection (§IV) — is memoized per normalized query
+// string and strategy, so a repetitive workload (the premise of Mandhani
+// & Suciu's cached-view scenario, the paper's [19]) pays for each plan
+// once. The rewriting of §V still executes per call: it is the only
+// stage whose output depends on which fragments join today.
+//
+// Plans are invalidated lazily by a generation counter on System that
+// every view-set mutation bumps (AddView, RemoveView, CompactFilter,
+// EnableAttributePruning, and ApplyAdvice through AddView); a plan
+// written under an older generation is recomputed on its next touch, so
+// a cached selection can never serve a dropped view. A thundering herd
+// on a cold key coalesces onto one computation (singleflight).
+
+import (
+	"errors"
+	"strings"
+
+	"xpathviews/internal/budget"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/plancache"
+	"xpathviews/internal/selection"
+)
+
+// PlanCacheStats re-exports the plan cache's effectiveness counters:
+// Hits, Misses, Evictions, and Invalidations (entries dropped because
+// the view set changed under them).
+type PlanCacheStats = plancache.Stats
+
+// PlanCacheStats returns a snapshot of the plan cache counters.
+func (s *System) PlanCacheStats() PlanCacheStats { return s.plans.Stats() }
+
+// PlanCacheLen returns the number of live cached plans (stale entries
+// included until their next touch).
+func (s *System) PlanCacheLen() int { return s.plans.Len() }
+
+// queryPlan is one memoized plan: everything AnswerContext computes
+// before touching fragment data. It is immutable once cached — the
+// minimized pattern and the selection are shared read-only by every
+// query that hits it.
+type queryPlan struct {
+	// q is the minimized pattern the selection was computed against;
+	// rewriting must run with exactly this pattern (the selection's
+	// covers point into its nodes).
+	q *pattern.Pattern
+	// sel is the chosen selection; nil when err is set.
+	sel *selection.Selection
+	// cand is |V'| after filtering (the registry size for MN).
+	cand int
+	// err caches a negative outcome (ErrNotAnswerable): repeated
+	// unanswerable queries — the common case in a fallback chain — skip
+	// filtering and selection too.
+	err error
+}
+
+// cachePlans reports whether this call's options route through the plan
+// cache: only view strategies have a plan worth memoizing, and
+// NoPlanCache opts out.
+func cachePlans(o Options) bool { return !o.NoPlanCache && isViewStrategy(o.Strategy) }
+
+// planKey builds the cache key for a normalized query under a strategy.
+func planKey(strat Strategy, normalized string) string {
+	return strat.String() + "\x00" + normalized
+}
+
+// normalizeQuery canonicalizes the textual spelling of a query for use
+// as a cache key: whitespace outside quoted attribute literals is
+// dropped, so "//a / b" and "//a/b" share a plan. Distinct-but-
+// equivalent spellings that survive normalization simply occupy their
+// own alias entries pointing at independently computed (identical)
+// plans.
+func normalizeQuery(src string) string {
+	if !strings.ContainsAny(src, " \t\n\r") {
+		return src
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	var quote byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if quote != 0 {
+			b.WriteByte(c)
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+			b.WriteByte(c)
+		case ' ', '\t', '\n', '\r':
+			// skip
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// bumpPlanGen invalidates every cached plan lazily. Callers hold the
+// write lock (mu), so no reader observes the new view set under an old
+// generation.
+func (s *System) bumpPlanGen() { s.planGen.Add(1) }
+
+// planLocked returns the plan for the minimized pattern q under strat,
+// consulting the cache when useCache is set. Called under s.mu (read):
+// the generation cannot change while we hold it, so a plan computed here
+// is valid for this call even if it is evicted concurrently.
+//
+// The returned plan may carry a cached negative outcome in pl.err;
+// transient failures (budget exhaustion, cancellation, contained
+// internal errors) are returned as err and never cached.
+func (s *System) planLocked(q *pattern.Pattern, strat Strategy, b *budget.B, useCache bool) (*queryPlan, error) {
+	if !useCache {
+		return s.computePlanLocked(q, strat, b)
+	}
+	gen := s.planGen.Load()
+	key := planKey(strat, q.String())
+	v, err, shared := s.plans.GetOrCompute(key, gen, func() (any, error) {
+		return s.computePlanLocked(q, strat, b)
+	})
+	if err != nil {
+		if shared {
+			// The in-flight leader failed on *its* budget or context;
+			// that verdict is not ours. Compute under our own budget,
+			// uncached.
+			return s.computePlanLocked(q, strat, b)
+		}
+		return nil, err
+	}
+	return v.(*queryPlan), nil
+}
+
+// computePlanLocked runs filtering + selection and wraps the outcome as
+// a plan. Only the two cacheable outcomes return a non-nil plan: a
+// successful selection, or a definite ErrNotAnswerable.
+func (s *System) computePlanLocked(q *pattern.Pattern, strat Strategy, b *budget.B) (*queryPlan, error) {
+	sel, cand, err := s.selectLocked(q, strat, b)
+	if err != nil {
+		if errors.Is(err, ErrNotAnswerable) {
+			return &queryPlan{q: q, cand: cand, err: err}, nil
+		}
+		return nil, err
+	}
+	return &queryPlan{q: q, sel: sel, cand: cand}, nil
+}
+
+// putPlanAlias stores pl under an additional key (the raw source
+// spelling), so the next AnswerContext with the same text skips parsing
+// too. Called under s.mu (read).
+func (s *System) putPlanAlias(key string, pl *queryPlan) {
+	s.plans.Put(key, s.planGen.Load(), pl)
+}
+
+// lookupPlan fetches a plan by key under the current generation. Called
+// under s.mu (read).
+func (s *System) lookupPlan(key string) (*queryPlan, bool) {
+	v, ok := s.plans.Get(key, s.planGen.Load())
+	if !ok {
+		return nil, false
+	}
+	return v.(*queryPlan), true
+}

@@ -70,6 +70,11 @@ type Options struct {
 	// Fallback overrides AnswerResilient's rung chain; nil means
 	// DefaultFallback().
 	Fallback []Rung
+	// NoPlanCache bypasses the query-plan cache (see plan.go): the call
+	// neither reads cached plans nor writes new ones. Use it for
+	// one-shot queries that should not displace the hot set, or to
+	// measure the uncached pipeline.
+	NoPlanCache bool
 }
 
 // budget builds the call's budget over ctx.
@@ -139,11 +144,51 @@ func runStage[T any](stage string, f func() (T, error)) (out T, err error) {
 // selection. Pipeline panics and injected faults come back as
 // ErrInternal, never as a crash.
 func (s *System) AnswerContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	if cachePlans(opts) {
+		return s.answerSrcCached(ctx, src, opts)
+	}
 	q, err := xpath.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	return s.AnswerPatternContext(ctx, q, opts)
+}
+
+// answerSrcCached is AnswerContext's plan-cached path: the raw source
+// spelling is itself a cache key (aliasing the canonical pattern key),
+// so a textual repeat skips parsing, minimization, filtering and
+// selection — only §V's rewriting runs.
+func (s *System) answerSrcCached(ctx context.Context, src string, opts Options) (*Result, error) {
+	ctx, cancel, err := servingContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	b := opts.budget(ctx)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	srcKey := planKey(opts.Strategy, normalizeQuery(src))
+	pl, ok := s.lookupPlan(srcKey)
+	if !ok {
+		q, err := xpath.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		qm := pattern.Minimize(q)
+		pl, err = s.planLocked(qm, opts.Strategy, b, true)
+		if err != nil {
+			s.observe(qm, false, err)
+			return nil, err
+		}
+		s.putPlanAlias(srcKey, pl)
+	}
+	res, err := s.answerPlanLocked(pl, opts.Strategy, b)
+	s.observe(pl.q, err == nil, err)
+	if err != nil {
+		return nil, err
+	}
+	truncate(res, opts.MaxAnswers)
+	return res, nil
 }
 
 // AnswerPatternContext is AnswerContext for already-parsed queries.
@@ -157,7 +202,7 @@ func (s *System) AnswerPatternContext(ctx context.Context, q *pattern.Pattern, o
 	qm := pattern.Minimize(q)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.answerLocked(qm, opts.Strategy, b)
+	res, err := s.answerLocked(qm, opts.Strategy, b, !opts.NoPlanCache)
 	s.observe(qm, err == nil && isViewStrategy(opts.Strategy), err)
 	if err != nil {
 		return nil, err
@@ -226,7 +271,7 @@ func (s *System) AnswerPatternResilient(ctx context.Context, q *pattern.Pattern,
 			return nil, err
 		}
 		// Each rung gets a fresh step/hom budget; the deadline is shared.
-		res, err := s.answerRungLocked(q, rung, opts.budget(ctx))
+		res, err := s.answerRungLocked(q, rung, opts.budget(ctx), !opts.NoPlanCache)
 		if err == nil {
 			res.Rung = rung.String()
 			res.Degraded = len(reasons) > 0
@@ -261,20 +306,20 @@ func viewRung(r Rung) bool {
 }
 
 // answerRungLocked answers one fallback rung under s.mu (read).
-func (s *System) answerRungLocked(q *pattern.Pattern, rung Rung, b *budget.B) (*Result, error) {
+func (s *System) answerRungLocked(q *pattern.Pattern, rung Rung, b *budget.B, useCache bool) (*Result, error) {
 	switch rung {
 	case RungHV:
-		return s.answerLocked(q, HV, b)
+		return s.answerLocked(q, HV, b, useCache)
 	case RungMV:
-		return s.answerLocked(q, MV, b)
+		return s.answerLocked(q, MV, b, useCache)
 	case RungCV:
-		return s.answerLocked(q, CV, b)
+		return s.answerLocked(q, CV, b, useCache)
 	case RungMN:
-		return s.answerLocked(q, MN, b)
+		return s.answerLocked(q, MN, b, useCache)
 	case RungBN:
-		return s.answerLocked(q, BN, b)
+		return s.answerLocked(q, BN, b, useCache)
 	case RungBF:
-		return s.answerLocked(q, BF, b)
+		return s.answerLocked(q, BF, b, useCache)
 	case RungContained:
 		res, err := s.containedLocked(q, b)
 		if err != nil {
@@ -292,8 +337,9 @@ func (s *System) answerRungLocked(q *pattern.Pattern, rung Rung, b *budget.B) (*
 }
 
 // answerLocked evaluates q under s.mu (read) with panic containment per
-// stage. q must already be minimized.
-func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B) (*Result, error) {
+// stage. q must already be minimized. useCache routes view strategies
+// through the plan cache (see plan.go).
+func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B, useCache bool) (*Result, error) {
 	res := &Result{Strategy: strat}
 	switch strat {
 	case BN:
@@ -320,28 +366,37 @@ func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B) (
 		}
 		return res, nil
 	case MN, MV, HV, CV:
-		sel, cand, err := s.selectLocked(q, strat, b)
+		pl, err := s.planLocked(q, strat, b, useCache)
 		if err != nil {
 			return nil, err
 		}
-		res.CandidatesAfterFilter = cand
-		res.HomsComputed = sel.HomsComputed
-		for _, c := range sel.Covers {
-			res.ViewsUsed = append(res.ViewsUsed, c.View.ID)
-		}
-		out, err := runStage("rewrite", func() (*rewrite.Result, error) {
-			return rewrite.ExecuteBudget(q, sel, s.fst, b)
-		})
-		if err != nil {
-			return nil, err
-		}
-		for _, a := range out.Answers {
-			res.Answers = append(res.Answers, Answer{Code: a.Code, Node: a.Node})
-		}
-		return res, nil
+		return s.answerPlanLocked(pl, strat, b)
 	default:
 		return nil, fmt.Errorf("xpathviews: unknown strategy %v", strat)
 	}
+}
+
+// answerPlanLocked runs §V's rewriting — the only per-call, data-
+// dependent stage — for a (possibly cached) plan under s.mu (read). A
+// plan carrying a cached negative outcome returns it immediately.
+func (s *System) answerPlanLocked(pl *queryPlan, strat Strategy, b *budget.B) (*Result, error) {
+	if pl.err != nil {
+		return nil, pl.err
+	}
+	res := &Result{Strategy: strat, CandidatesAfterFilter: pl.cand, HomsComputed: pl.sel.HomsComputed}
+	for _, c := range pl.sel.Covers {
+		res.ViewsUsed = append(res.ViewsUsed, c.View.ID)
+	}
+	out, err := runStage("rewrite", func() (*rewrite.Result, error) {
+		return rewrite.ExecuteBudget(pl.q, pl.sel, s.fst, b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range out.Answers {
+		res.Answers = append(res.Answers, Answer{Code: a.Code, Node: a.Node})
+	}
+	return res, nil
 }
 
 // servingContext applies Options.Timeout and rejects already-done

@@ -1,0 +1,308 @@
+// Serving hot-path benchmarks for the plan cache and the parallel
+// rewrite, plus the writer for BENCH_serving.json (the machine-readable
+// speedup report, same pattern as BENCH_advisor.json). Run via `make
+// bench` or `go test -bench 'AnswerPlanCache|AnswerParallel' -benchmem .`.
+package xpathviews_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"xpathviews"
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/rewrite"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xpath"
+)
+
+// servingViews is the materialized set for the serving benchmarks: the
+// eight person-leaf views a predicate-heavy query selects from, plus
+// descendant-axis variants that widen the candidate set the planner must
+// weigh (more homomorphisms per miss, same rewrite per hit).
+var servingViews = []string{
+	"//person/name",
+	"//person/emailaddress",
+	"//person/phone",
+	"//person/address/city",
+	"//person/homepage",
+	"//person/creditcard",
+	"//person/profile/age",
+	"//person/watches/watch",
+	"//person//name",
+	"//person//city",
+	"//person//age",
+	"//person//phone",
+	"//person//emailaddress",
+	"//person//homepage",
+	"//person//creditcard",
+	"//person//watch",
+}
+
+// servingQueries maps selection width (number of chosen views) to a
+// query whose leaf cover needs exactly that many.
+var servingQueries = map[int]string{
+	1: "//person/name",
+	4: "//person[address/city][profile/age][phone]/name",
+	8: "//person[emailaddress][phone][address/city][homepage][creditcard][profile/age][watches/watch]/name",
+}
+
+func servingBenchSystem(tb testing.TB, scale float64, seed int64) *xpathviews.System {
+	tb.Helper()
+	doc := xmark.Generate(xmark.Config{Scale: scale, Seed: seed})
+	sys, err := xpathviews.Open(doc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, v := range servingViews {
+		if _, err := sys.AddView(v, 0); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return sys
+}
+
+// BenchmarkAnswerPlanCache contrasts the serving hot path with a warm
+// plan cache (hit: rewrite only) against the uncached pipeline (miss:
+// parse + filter + selection + rewrite). Run with -benchmem: the hit
+// path's allocs/op must sit below the miss path's.
+func BenchmarkAnswerPlanCache(b *testing.B) {
+	sys := servingBenchSystem(b, 0.05, 2008)
+	ctx := context.Background()
+	q := servingQueries[4]
+	run := func(b *testing.B, opts xpathviews.Options) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := sys.AnswerContext(ctx, q, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+		}
+	}
+	b.Run("hit", func(b *testing.B) {
+		opts := xpathviews.Options{Strategy: xpathviews.MV}
+		if _, err := sys.AnswerContext(ctx, q, opts); err != nil { // warm the plan
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		run(b, opts)
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		run(b, xpathviews.Options{Strategy: xpathviews.MV, NoPlanCache: true})
+	})
+}
+
+// parallelBenchEnv builds the registry-level fixture for the rewrite
+// benchmarks: the selection must be computed against the exact pattern
+// object handed to rewrite.ExecuteOptions (covers reference its nodes),
+// so this bypasses System.Select, which re-minimizes internally.
+type parallelBenchEnv struct {
+	fst *dewey.FST
+	reg *views.Registry
+}
+
+func newParallelBenchEnv(tb testing.TB, scale float64, seed int64) *parallelBenchEnv {
+	tb.Helper()
+	doc := xmark.Generate(xmark.Config{Scale: scale, Seed: seed})
+	enc, fst, err := dewey.EncodeTree(doc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reg := views.NewRegistry(doc, enc)
+	for _, v := range servingViews {
+		if _, err := reg.Add(xpath.MustParse(v), 0); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return &parallelBenchEnv{fst: fst, reg: reg}
+}
+
+func (e *parallelBenchEnv) selectionFor(tb testing.TB, nv int) (*pattern.Pattern, *selection.Selection) {
+	tb.Helper()
+	q := pattern.Minimize(xpath.MustParse(servingQueries[nv]))
+	sel, err := selection.Minimum(q, e.reg.ViewList)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(sel.Covers) != nv {
+		tb.Fatalf("query for %d views selected %d covers", nv, len(sel.Covers))
+	}
+	return q, sel
+}
+
+// BenchmarkAnswerParallel measures the rewrite stage alone — sequential
+// (MaxWorkers 1) versus parallel (MaxWorkers 0 = GOMAXPROCS) — across
+// selection widths of 1, 4 and 8 views.
+func BenchmarkAnswerParallel(b *testing.B) {
+	env := newParallelBenchEnv(b, 1.0, 2008)
+	fst := env.fst
+	for _, nv := range []int{1, 4, 8} {
+		q, sel := env.selectionFor(b, nv)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(sprintfViews(nv, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := rewrite.ExecuteOptions(q, sel, fst, nil,
+						rewrite.Options{MaxWorkers: mode.workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func sprintfViews(nv int, mode string) string {
+	return "views=" + string(rune('0'+nv)) + "/" + mode
+}
+
+// TestServingBenchReport measures the two headline ratios — cache-hit
+// speedup over the uncached pipeline, and parallel-rewrite speedup over
+// sequential at 4 and 8 views — and writes BENCH_serving.json. Log-only
+// on the ratios themselves (machine load varies); the structural
+// invariant it does assert is that the hit path allocates less than the
+// miss path.
+func TestServingBenchReport(t *testing.T) {
+	if os.Getenv("XPV_BENCH_REPORT") == "" {
+		// Opt-in (make bench sets it): a plain or -race `go test ./...`
+		// must not overwrite the committed report with numbers taken
+		// under instrumentation or load.
+		t.Skip("set XPV_BENCH_REPORT=1 (or run `make bench`) to measure and rewrite BENCH_serving.json")
+	}
+	// Best-of-two damps scheduler/GC noise (single-core hosts especially).
+	bench := func(f func(b *testing.B)) testing.BenchmarkResult {
+		r1 := testing.Benchmark(f)
+		r2 := testing.Benchmark(f)
+		if r2.NsPerOp() < r1.NsPerOp() {
+			return r2
+		}
+		return r1
+	}
+	sys := servingBenchSystem(t, 0.05, 2008)
+	ctx := context.Background()
+	q := servingQueries[4]
+	hitOpts := xpathviews.Options{Strategy: xpathviews.MV}
+	if _, err := sys.AnswerContext(ctx, q, hitOpts); err != nil {
+		t.Fatal(err)
+	}
+	hit := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.AnswerContext(ctx, q, hitOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	missOpts := xpathviews.Options{Strategy: xpathviews.MV, NoPlanCache: true}
+	miss := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.AnswerContext(ctx, q, missOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if hit.AllocsPerOp() >= miss.AllocsPerOp() {
+		t.Errorf("hit path allocates %d/op, miss path %d/op; want hit < miss",
+			hit.AllocsPerOp(), miss.AllocsPerOp())
+	}
+
+	env := newParallelBenchEnv(t, 1.0, 2008)
+	fst := env.fst
+	parallel := map[string]any{}
+	for _, nv := range []int{4, 8} {
+		qp, sel := env.selectionFor(t, nv)
+		seq := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.ExecuteOptions(qp, sel, fst, nil, rewrite.Options{MaxWorkers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		par := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.ExecuteOptions(qp, sel, fst, nil, rewrite.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		measured := float64(seq.NsPerOp()) / float64(par.NsPerOp())
+
+		// Stage split from a sequential run: refinement and extraction fan
+		// out, the holistic join does not. On a single-core host measured
+		// wall-clock speedup is necessarily ~1x, so the report also carries
+		// the Amdahl projection the measured split implies for a host with
+		// enough cores to feed min(4, views) workers.
+		var refine, join, extract int64
+		for i := 0; i < 20; i++ {
+			r, err := rewrite.ExecuteOptions(qp, sel, fst, nil, rewrite.Options{MaxWorkers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refine += r.RefineNanos
+			join += r.JoinNanos
+			extract += r.ExtractNanos
+		}
+		total := refine + join + extract
+		frac := float64(refine+extract) / float64(total)
+		workers := 4
+		if nv < workers {
+			workers = nv
+		}
+		projected := 1 / ((1 - frac) + frac/float64(workers))
+		t.Logf("parallel rewrite at %d views: seq %v/op, par %v/op, measured %.2fx on %d core(s); "+
+			"parallelizable fraction %.2f -> projected %.2fx at %d workers",
+			nv, seq.NsPerOp(), par.NsPerOp(), measured, runtime.GOMAXPROCS(0), frac, projected, workers)
+		parallel[sprintfViews(nv, "speedup")] = map[string]any{
+			"views":                   nv,
+			"seq_ns_per_op":           seq.NsPerOp(),
+			"par_ns_per_op":           par.NsPerOp(),
+			"measured_speedup":        measured,
+			"refine_ns":               refine / 20,
+			"join_ns":                 join / 20,
+			"extract_ns":              extract / 20,
+			"parallelizable_fraction": frac,
+			"projected_speedup":       projected,
+			"projected_workers":       workers,
+			"total_frags":             sel.TotalFragments(),
+		}
+	}
+
+	hitSpeedup := float64(miss.NsPerOp()) / float64(hit.NsPerOp())
+	t.Logf("plan cache: hit %v/op (%d allocs), miss %v/op (%d allocs), speedup %.2fx",
+		hit.NsPerOp(), hit.AllocsPerOp(), miss.NsPerOp(), miss.AllocsPerOp(), hitSpeedup)
+
+	report := map[string]any{
+		"source": "TestServingBenchReport",
+		"query":  q,
+		"plan_cache": map[string]any{
+			"hit_ns_per_op":      hit.NsPerOp(),
+			"miss_ns_per_op":     miss.NsPerOp(),
+			"hit_allocs_per_op":  hit.AllocsPerOp(),
+			"miss_allocs_per_op": miss.AllocsPerOp(),
+			"hit_bytes_per_op":   hit.AllocedBytesPerOp(),
+			"miss_bytes_per_op":  miss.AllocedBytesPerOp(),
+			"speedup":            hitSpeedup,
+		},
+		"parallel_rewrite": parallel,
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+		"note": "measured_speedup is wall-clock on this host; on a single-core host it is ~1x by " +
+			"construction (workersFor collapses to 1) and projected_speedup applies Amdahl's law " +
+			"to the measured per-stage split instead",
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serving.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"xpathviews/internal/dewey"
 	"xpathviews/internal/engine"
 	"xpathviews/internal/pattern"
+	"xpathviews/internal/plancache"
 	"xpathviews/internal/rewrite"
 	"xpathviews/internal/selection"
 	"xpathviews/internal/vfilter"
@@ -110,6 +111,13 @@ type System struct {
 	// pointer keeps the recorder-absent answering path at one atomic
 	// load — no lock, no allocation.
 	rec atomic.Pointer[advisor.Recorder]
+
+	// plans memoizes query plans (see plan.go); planGen is the view-set
+	// generation — bumped under the write lock by every mutation, read
+	// under the read lock by queries, so a cached selection can never
+	// outlive the views it references.
+	plans   *plancache.Cache
+	planGen atomic.Uint64
 }
 
 // Open prepares a system over an in-memory document, deriving the FST
@@ -134,6 +142,7 @@ func OpenWithFST(doc *xmltree.Tree, fst *dewey.FST) (*System, error) {
 		registry: views.NewRegistry(doc, enc),
 		filter:   vfilter.New(),
 		bn:       engine.NewBN(doc),
+		plans:    plancache.New(0, 0),
 	}, nil
 }
 
@@ -184,6 +193,7 @@ func (s *System) AddViewPattern(p *pattern.Pattern, limit int) (int, error) {
 		return 0, err
 	}
 	s.filter.AddView(v.ID, v.Pattern)
+	s.bumpPlanGen()
 	return v.ID, nil
 }
 
@@ -202,6 +212,7 @@ func (s *System) RemoveView(id int) bool {
 	defer s.mu.Unlock()
 	a := s.registry.Remove(id)
 	b := s.filter.RemoveView(id)
+	s.bumpPlanGen()
 	return a && b
 }
 
@@ -219,6 +230,7 @@ func (s *System) CompactFilter() {
 		nf.AddView(v.ID, v.Pattern)
 	}
 	s.filter = nf
+	s.bumpPlanGen()
 }
 
 // Answer is one query result.
@@ -351,6 +363,7 @@ func (s *System) EnableAttributePruning() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.filter.EnableAttributePruning()
+	s.bumpPlanGen()
 }
 
 // AnswerContained computes a contained (sound but possibly incomplete)
