@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench
+.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a short fuzz smoke of the XPath parser.
@@ -30,6 +30,17 @@ fmt-check:
 bench:
 	$(GO) test -run='^$$' -bench='AnswerPlanCache|AnswerParallel' -benchmem -count=1 .
 	XPV_BENCH_REPORT=1 $(GO) test -run=TestServingBenchReport -count=1 -v .
+
+# obs-demo exercises the observability surface end to end: an -explain
+# run of the paper's running example (Figure 2 document, Table I views,
+# query Q_e) with the slow-query log and metrics dump armed, then the
+# telemetry-overhead benchmark, which refreshes BENCH_obs.json.
+obs-demo:
+	printf '%s' '<b><t/><a/><a/><s><t/><p/><p/><f><i/></f><s><t/><p/><p/><f><i/></f></s></s><s><t/><p/><p/><s><t/><p/><f><i/></f></s><s><t/><p/></s></s></b>' > /tmp/xpv-book.xml
+	$(GO) run ./cmd/xpvquery -doc /tmp/xpv-book.xml \
+		-view '//s[t]/p' -view '//s[a][.//i]//p' -view '//s[*//t]//p' -view '//s[p]/f' \
+		-strategy HV -explain -slowlog 1ns -metrics '//s[f//i][t]/p'
+	$(GO) run ./cmd/xpvbench -obs -quick
 
 # advise-demo generates a positive workload and runs the advisor against
 # the naive top-k baseline at the same byte budget.

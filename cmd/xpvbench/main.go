@@ -4,10 +4,12 @@
 // Usage:
 //
 //	xpvbench [-quick] [-table3] [-fig8] [-fig9] [-fig10] [-fig11] [-fig12]
-//	         [-cpuprofile out.prof] [-memprofile out.prof]
+//	         [-obs] [-cpuprofile out.prof] [-memprofile out.prof]
 //
 // With no figure flags, everything runs. -quick shrinks the workload for
-// a fast smoke run. -cpuprofile/-memprofile write pprof profiles of the
+// a fast smoke run. -obs runs the telemetry-overhead benchmark instead
+// (hot serving path with metrics off / on / traced) and writes
+// BENCH_obs.json. -cpuprofile/-memprofile write pprof profiles of the
 // run for digging into the serving hot path (`go tool pprof`).
 package main
 
@@ -30,6 +32,7 @@ func main() {
 	f10 := flag.Bool("fig10", false, "run Figure 10 (utility)")
 	f11 := flag.Bool("fig11", false, "run Figure 11 (VFilter size scaling)")
 	f12 := flag.Bool("fig12", false, "run Figure 12 (filtering time)")
+	obs := flag.Bool("obs", false, "run the telemetry-overhead benchmark and write BENCH_obs.json")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -60,6 +63,14 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
+	}
+
+	if *obs {
+		if err := runObs(os.Stdout, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	all := !(*t3 || *f8 || *f9 || *f10 || *f11 || *f12)

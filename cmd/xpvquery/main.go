@@ -9,6 +9,12 @@
 //
 // Output: one line per answer with its extended Dewey code and the
 // serialized answer subtree (truncated).
+//
+// Observability: -explain prints the query plan (surviving and selected
+// views, plan-cache status, per-stage timings and the span tree)
+// instead of answers; -explain-json emits the same as JSON. -slowlog
+// arms the slow-query log at a threshold and prints retained entries
+// after the run; -metrics dumps the metrics exposition.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"xpathviews"
 )
@@ -34,6 +41,10 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms (0 = none)")
 	maxAnswers := flag.Int("max-answers", 0, "truncate the result to this many answers (0 = all)")
 	resilient := flag.Bool("resilient", false, "answer via the fallback chain (HV -> MV -> contained -> BN), degrading instead of failing")
+	explain := flag.Bool("explain", false, "print the query plan (views, covers, cache status, stage timings) instead of answers")
+	explainJSON := flag.Bool("explain-json", false, "like -explain, but emit JSON")
+	slowlog := flag.Duration("slowlog", 0, "arm the slow-query log at this threshold, e.g. 1ms, and print entries after the run (0 = off)")
+	metrics := flag.Bool("metrics", false, "dump the metrics text exposition after the run")
 	var viewSrcs viewList
 	flag.Var(&viewSrcs, "view", "materialize this view (repeatable)")
 	flag.Parse()
@@ -80,6 +91,26 @@ func main() {
 		Timeout:    *timeout,
 		MaxAnswers: *maxAnswers,
 	}
+	if *slowlog > 0 {
+		sys.SetSlowQueryThreshold(*slowlog)
+	}
+	if *explain || *explainJSON {
+		ex, err := sys.ExplainContext(context.Background(), flag.Arg(0), opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *explainJSON {
+			buf, err := ex.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(buf))
+		} else {
+			fmt.Print(ex.Text())
+		}
+		dumpObs(sys, *slowlog, *metrics)
+		return
+	}
 	var res *xpathviews.Result
 	if *resilient {
 		res, err = sys.AnswerResilient(context.Background(), flag.Arg(0), opts)
@@ -87,6 +118,7 @@ func main() {
 		res, err = sys.AnswerContext(context.Background(), flag.Arg(0), opts)
 	}
 	if err != nil {
+		dumpObs(sys, *slowlog, *metrics)
 		fatal(err)
 	}
 	fmt.Printf("%d answer(s) via %v", len(res.Answers), res.Strategy)
@@ -119,6 +151,28 @@ func main() {
 			xml = xml[:117] + "..."
 		}
 		fmt.Printf("%-16s %s\n", a.Code, xml)
+	}
+	dumpObs(sys, *slowlog, *metrics)
+}
+
+// dumpObs prints the armed observability artifacts after the run: the
+// slow-query log (when -slowlog armed it) and the metrics exposition
+// (when -metrics asked for it).
+func dumpObs(sys *xpathviews.System, slowlog time.Duration, metrics bool) {
+	if slowlog > 0 {
+		entries := sys.SlowQueries()
+		fmt.Printf("\nslow queries (>= %v): %d\n", slowlog, len(entries))
+		for _, e := range entries {
+			fmt.Printf("  %v  %s  strategy=%s total=%v parse=%v filter=%v select=%v rewrite=%v cache_hit=%t\n",
+				e.Time.Format("15:04:05.000"), e.Query, e.Strategy,
+				e.Total, e.Parse, e.Filter, e.Select, e.Rewrite, e.CacheHit)
+		}
+	}
+	if metrics {
+		fmt.Println("\nmetrics:")
+		if err := sys.DumpMetrics(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "xpvquery: dump metrics:", err)
+		}
 	}
 }
 

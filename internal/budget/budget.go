@@ -44,9 +44,12 @@ type B struct {
 	ctx        context.Context
 	stepBound  bool
 	homBound   bool
+	track      bool
 	steps      atomic.Int64
 	homs       atomic.Int64
 	sinceCheck atomic.Int64
+	usedSteps  atomic.Int64
+	usedHoms   atomic.Int64
 }
 
 // New builds a budget over ctx. maxSteps caps cheap work units, maxHoms
@@ -68,12 +71,34 @@ func New(ctx context.Context, maxSteps, maxHoms int64) *B {
 	return b
 }
 
+// EnableTracking turns on spend accounting: Step and Hom additionally
+// accumulate how much was consumed, readable via Spent. Off by default
+// so the untraced hot path pays only a predictable-false branch; must
+// be called before the budget is shared with worker goroutines.
+func (b *B) EnableTracking() {
+	if b != nil {
+		b.track = true
+	}
+}
+
+// Spent returns the work consumed so far. Zero until EnableTracking is
+// called; safe to read while workers are still charging.
+func (b *B) Spent() (steps, homs int64) {
+	if b == nil {
+		return 0, 0
+	}
+	return b.usedSteps.Load(), b.usedHoms.Load()
+}
+
 // Step consumes n work units, returning ErrSteps when the step budget is
 // exhausted and the context's error when it is done. It polls the context
 // only every checkInterval units.
 func (b *B) Step(n int) error {
 	if b == nil {
 		return nil
+	}
+	if b.track {
+		b.usedSteps.Add(int64(n))
 	}
 	if b.stepBound && b.steps.Add(-int64(n)) < 0 {
 		return ErrSteps
@@ -92,6 +117,9 @@ func (b *B) Step(n int) error {
 func (b *B) Hom() error {
 	if b == nil {
 		return nil
+	}
+	if b.track {
+		b.usedHoms.Add(1)
 	}
 	if err := b.ctx.Err(); err != nil {
 		return err

@@ -46,7 +46,30 @@ type Point struct {
 var (
 	mu       sync.Mutex
 	registry = map[string]*Point{}
+
+	// observer, when set, is called with the point's name every time a
+	// fire actually injects (both error and panic modes) — the telemetry
+	// layer hooks it to count injections per point. One atomic load when
+	// unset; never called for disarmed points.
+	observer atomic.Pointer[func(string)]
 )
+
+// SetObserver installs (or, with nil, removes) the injection observer.
+// The callback must be cheap and must not itself arm or fire points.
+func SetObserver(fn func(name string)) {
+	if fn == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&fn)
+}
+
+// notify reports one injection to the observer, if any.
+func notify(name string) {
+	if fn := observer.Load(); fn != nil {
+		(*fn)(name)
+	}
+}
 
 // New registers (or retrieves) the fault point with the given name. It is
 // intended for package-level var initialization; calling it twice with
@@ -75,11 +98,13 @@ func (p *Point) Fire() error {
 		if !p.take() {
 			return nil
 		}
+		notify(p.name)
 		return fmt.Errorf("%w at %s", ErrInjected, p.name)
 	default:
 		if !p.take() {
 			return nil
 		}
+		notify(p.name)
 		panic(fmt.Sprintf("faults: injected panic at %s", p.name))
 	}
 }

@@ -62,6 +62,11 @@ type Result struct {
 	RefineNanos  int64
 	JoinNanos    int64
 	ExtractNanos int64
+	// RefineWorkers and ExtractWorkers are the worker-pool sizes the two
+	// parallel stages actually ran with (1 = sequential), for the
+	// telemetry span's worker-count attributes.
+	RefineWorkers  int
+	ExtractWorkers int
 
 	// codes memoizes Codes(): the pipeline sorts answers once at
 	// construction (sortAnswers), so repeated calls should not re-sort or
@@ -136,6 +141,7 @@ func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST
 	if sel.TotalFragments() < minParallelFrags {
 		refWorkers = 1 // too little scan work to pay for the fan-out
 	}
+	res.RefineWorkers = refWorkers
 	stage := time.Now()
 	empty, err := refineAll(q, covers, fst, refined, b, refWorkers)
 	res.RefineNanos = int64(time.Since(stage))
@@ -153,7 +159,8 @@ func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST
 	dc := covers[deltaIdx]
 	if dc.Strong && len(covers) == 1 {
 		stage = time.Now()
-		err := extract(q, dc, refined[deltaIdx].frags, res, b, opt.workersFor(len(refined[deltaIdx].frags)))
+		res.ExtractWorkers = opt.workersFor(len(refined[deltaIdx].frags))
+		err := extract(q, dc, refined[deltaIdx].frags, res, b, res.ExtractWorkers)
 		res.ExtractNanos = int64(time.Since(stage))
 		if err != nil {
 			return nil, err
@@ -177,7 +184,8 @@ func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST
 
 	// Stage 4: extraction from the Δ-view's joined fragments.
 	stage = time.Now()
-	err = extract(q, dc, joined, res, b, opt.workersFor(len(joined)))
+	res.ExtractWorkers = opt.workersFor(len(joined))
+	err = extract(q, dc, joined, res, b, res.ExtractWorkers)
 	res.ExtractNanos = int64(time.Since(stage))
 	if err != nil {
 		return nil, err
@@ -207,7 +215,25 @@ type refineScratch struct {
 	labels [][]string
 }
 
-var refineScratchPool = sync.Pool{New: func() any { return new(refineScratch) }}
+var refineScratchPool = sync.Pool{New: func() any {
+	poolNews.Add(1)
+	return new(refineScratch)
+}}
+
+// poolGets/poolNews count refine-scratch pool traffic: a Get that did
+// not hit the New func reused pooled scratch. Exposed via PoolStats for
+// the metrics exposition.
+var (
+	poolGets atomic.Int64
+	poolNews atomic.Int64
+)
+
+// PoolStats reports refine-scratch pool traffic since process start:
+// total Gets and how many had to allocate fresh scratch. gets-news is
+// the number of reuses.
+func PoolStats() (gets, news int64) {
+	return poolGets.Load(), poolNews.Load()
+}
 
 // releaseRefined returns every view's scratch to the pool, dropping
 // fragment references so pooled scratch does not pin view data.
@@ -249,6 +275,7 @@ func refineView(q *pattern.Pattern, c *selection.Cover, fst *dewey.FST, out *ref
 	// One label slab for all fragments of the view; kept label-paths are
 	// sub-slices (when the slab grows, older backing arrays stay alive
 	// through them, which is exactly what we want).
+	poolGets.Add(1)
 	sc := refineScratchPool.Get().(*refineScratch)
 	out.sc = sc
 	slab := sc.slab[:0]

@@ -1,0 +1,377 @@
+// Package telemetry is the serving pipeline's observability core: an
+// always-cheap metrics registry (atomic counters, gauges, fixed-bucket
+// latency histograms with percentile snapshots), a per-query trace span
+// tree, and a slow-query ring buffer.
+//
+// Design constraints, in order:
+//
+//  1. The disabled path must cost nothing. Every type in this package is
+//     nil-safe — a nil *Counter, *Histogram, *Span or *Registry turns
+//     every method into a no-op — so the serving layer can thread nil
+//     through its hot path without branching on a config struct.
+//  2. The enabled metrics path must be allocation-free. Counters, gauges
+//     and histograms are fixed-size atomics; recording never takes a
+//     lock or touches a map. Name→metric resolution happens once at
+//     registration, not per observation.
+//  3. Tracing may allocate (it builds a tree), because it is per-call
+//     opt-in: a query runs with a span tree only when the caller hands
+//     one in (Options.Trace, System.Explain).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; 0 for a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value; 0 for a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket layout: bucket i counts observations v (in
+// nanoseconds) with v <= histBase<<i; the last bucket is the overflow.
+// histBase = 1µs and 26 doubling buckets span 1µs … ~33.5s, which covers
+// everything from a plan-cache hit to a pathological exact selection.
+const (
+	histBase    = 1000 // ns: first bucket upper bound (1µs)
+	histBuckets = 27   // 26 doubling buckets + overflow
+)
+
+// Histogram is a fixed-bucket latency histogram over nanosecond
+// observations. Recording is one atomic add plus two bookkeeping adds;
+// there is no lock and no allocation. A nil *Histogram is a no-op.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketIndex maps a nanosecond value onto its bucket.
+func bucketIndex(ns int64) int {
+	if ns <= histBase {
+		return 0
+	}
+	// v <= histBase<<i  ⇔  ceil(v/histBase) <= 1<<i.
+	q := uint64((ns + histBase - 1) / histBase)
+	i := bits.Len64(q - 1)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBound returns bucket i's upper bound in nanoseconds (the
+// overflow bucket reports twice the last finite bound).
+func bucketBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return histBase << histBuckets
+	}
+	return histBase << i
+}
+
+// Observe records one duration in nanoseconds. Non-positive values are
+// clamped into the first bucket (a stage can legitimately measure 0 on
+// a coarse clock).
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// HistSnapshot is a point-in-time read of a histogram. Percentiles are
+// linearly interpolated inside the owning bucket, so they are upper-
+// bound estimates with at most one bucket width of error.
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// Snapshot reads the histogram. Buckets are loaded individually, so a
+// snapshot taken during concurrent writes is approximate (never torn
+// per bucket, possibly off by in-flight observations across buckets).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	if total == 0 {
+		return s
+	}
+	s.P50Ns = percentile(&counts, total, 0.50)
+	s.P95Ns = percentile(&counts, total, 0.95)
+	s.P99Ns = percentile(&counts, total, 0.99)
+	return s
+}
+
+// percentile finds the bucket holding the p-quantile observation and
+// interpolates linearly between the bucket's bounds.
+func percentile(counts *[histBuckets]int64, total int64, p float64) int64 {
+	rank := int64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			frac := float64(rank-cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return bucketBound(histBuckets - 1)
+}
+
+// Registry holds named metrics. Lookups (Counter, Gauge, Histogram) are
+// get-or-create and intended for registration time — hot paths should
+// resolve their metrics once and hold the pointers. A nil *Registry
+// returns nil metrics, which are themselves no-ops, so "disabled" is
+// just a nil registry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	gaugeFuncs map[string]func() int64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		hists:      map[string]*Histogram{},
+		gaugeFuncs: map[string]func() int64{},
+	}
+}
+
+// std is the package-level default registry; systems record here unless
+// given their own.
+var std = NewRegistry()
+
+// Default returns the package-level default registry.
+func Default() *Registry { return std }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a callback evaluated at exposition time (WriteText
+// / WriteJSON) — for values owned elsewhere, like a cache's entry count.
+// Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Reset zeroes every registered metric (counters, gauges, histograms)
+// and drops gauge funcs. Intended for tests.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+	r.gaugeFuncs = map[string]func() int64{}
+}
+
+// snapshotLine is one exposition row.
+type snapshotLine struct {
+	name  string
+	value any // int64 or HistSnapshot
+}
+
+// snapshot collects every metric under the lock, sorted by name.
+// Histograms expand to one HistSnapshot value.
+func (r *Registry) snapshot() []snapshotLine {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lines := make([]snapshotLine, 0,
+		len(r.counters)+len(r.gauges)+len(r.hists)+len(r.gaugeFuncs))
+	for n, c := range r.counters {
+		lines = append(lines, snapshotLine{n, c.Value()})
+	}
+	for n, g := range r.gauges {
+		lines = append(lines, snapshotLine{n, g.Value()})
+	}
+	for n, fn := range r.gaugeFuncs {
+		lines = append(lines, snapshotLine{n, fn()})
+	}
+	for n, h := range r.hists {
+		lines = append(lines, snapshotLine{n, h.Snapshot()})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	return lines
+}
+
+// WriteText writes every metric as expvar-style "name value" lines,
+// sorted by name. Histograms expand to _count/_sum_ns/_p50_ns/_p95_ns/
+// _p99_ns rows.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, l := range r.snapshot() {
+		var err error
+		switch v := l.value.(type) {
+		case HistSnapshot:
+			_, err = fmt.Fprintf(w, "%s_count %d\n%s_sum_ns %d\n%s_p50_ns %d\n%s_p95_ns %d\n%s_p99_ns %d\n",
+				l.name, v.Count, l.name, v.SumNs, l.name, v.P50Ns, l.name, v.P95Ns, l.name, v.P99Ns)
+		default:
+			_, err = fmt.Fprintf(w, "%s %v\n", l.name, l.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes every metric as one JSON object keyed by name;
+// histograms appear as {count, sum_ns, p50_ns, p95_ns, p99_ns}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	m := map[string]any{}
+	for _, l := range r.snapshot() {
+		m[l.name] = l.value
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,319 @@
+package telemetry
+
+// Per-query trace spans. A Trace owns one span tree covering a single
+// serving-layer call; the serving layer opens a child span per pipeline
+// stage (parse → plan{vfilter, select} → rewrite → collect) and
+// annotates each with stage-specific attributes (candidate counts,
+// worker counts, cache status, errors).
+//
+// Tracing is per-call opt-in and may allocate. All methods are nil-safe
+// on both *Trace and *Span, so untraced calls pay only nil checks. A
+// Trace must not be reused across calls.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key=value span annotation.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Event is one timestamped point annotation inside a span.
+type Event struct {
+	// At is the offset from the span's start.
+	At  time.Duration
+	Msg string
+}
+
+// Trace is one call's span tree. Safe for concurrent span creation and
+// annotation (a single mutex guards the whole tree — tracing is a
+// diagnostic path, not a throughput path).
+type Trace struct {
+	mu   sync.Mutex
+	root *Span
+}
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{tr: t, name: name, start: time.Now()}
+	return t
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Span is one timed node of the tree.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	events   []Event
+	children []*Span
+}
+
+// Child opens a sub-span. Nil-safe: a nil receiver returns nil, so the
+// untraced path composes freely.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// ChildTimed attaches an already-measured sub-span of the given
+// duration — used for stages whose timing is reported by a callee
+// (e.g. the rewrite pipeline's refine/join/extract split) rather than
+// measured around a call. start positions it inside the parent.
+func (s *Span) ChildTimed(name string, start time.Time, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: start, dur: d, ended: true}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End closes the span; later Ends are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// Event records a point annotation at the current time offset.
+func (s *Span) Event(msg string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.events = append(s.events, Event{At: time.Since(s.start), Msg: msg})
+	s.tr.mu.Unlock()
+}
+
+// Err records a non-nil error as both an "err" attribute and an event.
+func (s *Span) Err(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	msg := err.Error()
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: "err", Value: msg})
+	s.events = append(s.events, Event{At: time.Since(s.start), Msg: "error: " + msg})
+	s.tr.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's measured duration (time since start for a
+// still-open span).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Children returns a copy of the child list.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Attr returns the last value recorded under key.
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for i := len(s.attrs) - 1; i >= 0; i-- {
+		if s.attrs[i].Key == key {
+			return s.attrs[i].Value, true
+		}
+	}
+	return nil, false
+}
+
+// Events returns a copy of the span's events.
+func (s *Span) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Find returns the first span named name in depth-first order (the
+// root included), or nil.
+func (t *Trace) Find(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return findSpan(t.root, name)
+}
+
+func findSpan(s *Span, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	for _, c := range s.children {
+		if m := findSpan(c, name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// WriteText renders the tree, one span per line:
+//
+//	answer 123µs query=//a/b strategy=HV
+//	├─ parse 2µs
+//	└─ plan 45µs cache=miss
+func (t *Trace) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	writeSpan(&b, t.root, "", "")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Text renders the tree to a string.
+func (t *Trace) Text() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	t.WriteText(&b)
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(s.name)
+	d := s.dur
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	fmt.Fprintf(b, " %v", d)
+	for _, a := range s.attrs {
+		fmt.Fprintf(b, " %s=%v", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	for _, e := range s.events {
+		fmt.Fprintf(b, "%s· @%v %s\n", childPrefix, e.At, e.Msg)
+	}
+	for i, c := range s.children {
+		last := i == len(s.children)-1
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		writeSpan(b, c, childPrefix+branch, childPrefix+cont)
+	}
+}
+
+// spanJSON is the exported JSON shape of one span.
+type spanJSON struct {
+	Name     string         `json:"name"`
+	DurNs    int64          `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Events   []string       `json:"events,omitempty"`
+	Children []spanJSON     `json:"children,omitempty"`
+}
+
+func spanToJSON(s *Span) spanJSON {
+	out := spanJSON{Name: s.name, DurNs: int64(s.dur)}
+	if !s.ended {
+		out.DurNs = int64(time.Since(s.start))
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, e := range s.events {
+		out.Events = append(out.Events, fmt.Sprintf("@%v %s", e.At, e.Msg))
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, spanToJSON(c))
+	}
+	return out
+}
+
+// JSON renders the span tree as indented JSON.
+func (t *Trace) JSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return json.MarshalIndent(spanToJSON(t.root), "", "  ")
+}

@@ -1,0 +1,341 @@
+package xpathviews
+
+// This file is the serving layer's observability wiring over
+// internal/telemetry: the per-System metrics bundle (metric names are
+// resolved once per registry, never on the hot path), the per-call
+// observation state threaded through the pipeline (callObs), the
+// slow-query log, and the text exposition (DumpMetrics). The span tree
+// itself is emitted at the stage boundaries in serving.go/plan.go.
+//
+// Cost model: with metrics enabled (the default), one Answer adds a
+// handful of atomic adds and time.Now calls and zero allocations; with
+// metrics disabled (SetMetricsRegistry(nil)) the bundle pointer is nil
+// and every hook is a nil check. Tracing allocates, but only runs when
+// the caller supplies Options.Trace or calls Explain.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"xpathviews/internal/budget"
+	"xpathviews/internal/faults"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/rewrite"
+	"xpathviews/internal/telemetry"
+)
+
+// MetricsRegistry aliases the telemetry registry so embedders can build
+// their own (NewMetricsRegistry), inspect the process default
+// (DefaultMetricsRegistry), and dump either via WriteText/WriteJSON.
+type MetricsRegistry = telemetry.Registry
+
+// Trace aliases the telemetry trace: a per-call span tree. Hand one to
+// Options.Trace to record where a single query's time went.
+type Trace = telemetry.Trace
+
+// Span aliases one node of a Trace's span tree.
+type Span = telemetry.Span
+
+// SlowQuery aliases one slow-query log entry (see SlowQueries).
+type SlowQuery = telemetry.SlowQuery
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// DefaultMetricsRegistry returns the process-wide default registry that
+// every System records into unless overridden by SetMetricsRegistry or
+// Options.Metrics.
+func DefaultMetricsRegistry() *MetricsRegistry { return telemetry.Default() }
+
+// NewTrace builds a trace whose root span is the serving call.
+func NewTrace() *Trace { return telemetry.NewTrace("answer") }
+
+// servingMetrics is one registry's pre-resolved serving instruments.
+// Holding the pointers keeps the hot path free of name lookups.
+type servingMetrics struct {
+	reg *telemetry.Registry
+
+	answers     *telemetry.Counter // xpv_answers_total
+	answerErrs  *telemetry.Counter // xpv_answer_errors_total
+	errNotAns   *telemetry.Counter // xpv_errors_not_answerable_total
+	errBudget   *telemetry.Counter // xpv_errors_budget_total
+	errInternal *telemetry.Counter // xpv_errors_internal_total
+	errCanceled *telemetry.Counter // xpv_errors_canceled_total
+
+	planHits     *telemetry.Counter // xpv_plan_cache_hits_total
+	planMisses   *telemetry.Counter // xpv_plan_cache_misses_total
+	planBypass   *telemetry.Counter // xpv_plan_cache_bypass_total
+	planNegative *telemetry.Counter // xpv_plan_negative_served_total
+
+	rungServed    [len(rungNames)]*telemetry.Counter // xpv_resilient_rung_served_total{rung=...}
+	rungFallbacks *telemetry.Counter                 // xpv_resilient_fallbacks_total
+
+	slowQueries *telemetry.Counter // xpv_slow_queries_total
+
+	latTotal   *telemetry.Histogram // xpv_answer_ns
+	latParse   *telemetry.Histogram // xpv_parse_ns
+	latFilter  *telemetry.Histogram // xpv_filter_ns
+	latSelect  *telemetry.Histogram // xpv_select_ns
+	latRewrite *telemetry.Histogram // xpv_rewrite_ns
+}
+
+// bundles caches one servingMetrics per registry so per-call
+// Options.Metrics overrides do not re-resolve names.
+var bundles sync.Map // *telemetry.Registry -> *servingMetrics
+
+func metricsFor(reg *telemetry.Registry) *servingMetrics {
+	if reg == nil {
+		return nil
+	}
+	if v, ok := bundles.Load(reg); ok {
+		return v.(*servingMetrics)
+	}
+	m := &servingMetrics{
+		reg:           reg,
+		answers:       reg.Counter("xpv_answers_total"),
+		answerErrs:    reg.Counter("xpv_answer_errors_total"),
+		errNotAns:     reg.Counter("xpv_errors_not_answerable_total"),
+		errBudget:     reg.Counter("xpv_errors_budget_total"),
+		errInternal:   reg.Counter("xpv_errors_internal_total"),
+		errCanceled:   reg.Counter("xpv_errors_canceled_total"),
+		planHits:      reg.Counter("xpv_plan_cache_hits_total"),
+		planMisses:    reg.Counter("xpv_plan_cache_misses_total"),
+		planBypass:    reg.Counter("xpv_plan_cache_bypass_total"),
+		planNegative:  reg.Counter("xpv_plan_negative_served_total"),
+		rungFallbacks: reg.Counter("xpv_resilient_fallbacks_total"),
+		slowQueries:   reg.Counter("xpv_slow_queries_total"),
+		latTotal:      reg.Histogram("xpv_answer_ns"),
+		latParse:      reg.Histogram("xpv_parse_ns"),
+		latFilter:     reg.Histogram("xpv_filter_ns"),
+		latSelect:     reg.Histogram("xpv_select_ns"),
+		latRewrite:    reg.Histogram("xpv_rewrite_ns"),
+	}
+	for r := range rungNames {
+		m.rungServed[r] = reg.Counter(fmt.Sprintf("xpv_resilient_rung_served_total{rung=%q}", rungNames[r]))
+	}
+	v, _ := bundles.LoadOrStore(reg, m)
+	return v.(*servingMetrics)
+}
+
+// init hooks the global fault-injection registry: every actual
+// injection counts on the default registry, per point. Injections are
+// test/chaos-only events, so the name formatting here is off any hot
+// path.
+func init() {
+	faults.SetObserver(func(name string) {
+		telemetry.Default().Counter(fmt.Sprintf("xpv_fault_injected_total{point=%q}", name)).Inc()
+	})
+}
+
+// SetMetricsRegistry points the system's serving metrics at reg. nil
+// disables metrics entirely (the per-call cost drops to nil checks).
+// Per-call Options.Metrics still overrides this.
+func (s *System) SetMetricsRegistry(reg *MetricsRegistry) {
+	s.obsPtr.Store(metricsFor(reg))
+}
+
+// MetricsRegistry returns the registry the system currently records
+// into, or nil when metrics are disabled.
+func (s *System) MetricsRegistry() *MetricsRegistry {
+	if m := s.obsPtr.Load(); m != nil {
+		return m.reg
+	}
+	return nil
+}
+
+// SetSlowQueryThreshold arms the slow-query log: every serving call
+// whose total latency reaches d is recorded in a fixed-size ring
+// (newest DefaultSlowLogCapacity entries). d <= 0 disables the log.
+func (s *System) SetSlowQueryThreshold(d time.Duration) { s.slow.SetThreshold(d) }
+
+// SlowQueries returns the retained slow-query log entries, oldest
+// first.
+func (s *System) SlowQueries() []SlowQuery { return s.slow.Snapshot() }
+
+// DumpMetrics writes the expvar-style text exposition: the metrics
+// registry (the system's current one, or the process default when
+// metrics are disabled), followed by the system's live gauges — plan
+// cache counters, view count, slow-log size and rewrite scratch-pool
+// traffic. Embedding HTTP servers can serve this directly.
+func (s *System) DumpMetrics(w io.Writer) error {
+	reg := s.MetricsRegistry()
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	if err := reg.WriteText(w); err != nil {
+		return err
+	}
+	st := s.plans.Stats()
+	gets, news := rewrite.PoolStats()
+	_, err := fmt.Fprintf(w,
+		"xpv_plancache_hits %d\nxpv_plancache_misses %d\nxpv_plancache_evictions %d\nxpv_plancache_invalidations %d\nxpv_plancache_len %d\nxpv_views %d\nxpv_slowlog_len %d\nxpv_slowlog_total %d\nxpv_rewrite_pool_gets %d\nxpv_rewrite_pool_news %d\n",
+		st.Hits, st.Misses, st.Evictions, st.Invalidations, s.PlanCacheLen(),
+		s.NumViews(), len(s.slow.Snapshot()), s.slow.Logged(), gets, news)
+	return err
+}
+
+// callObs is one serving call's observation state, passed by value down
+// the pipeline. The zero value (all nil) is fully inert.
+type callObs struct {
+	m  *servingMetrics // nil = metrics off
+	sp *telemetry.Span // current parent span; nil = tracing off
+	ex *explainSink    // nil unless the call came from Explain
+}
+
+// startObs resolves the call's observation state and its start time.
+func (s *System) startObs(opts Options) (callObs, time.Time) {
+	co := callObs{sp: opts.Trace.Root(), ex: opts.explain}
+	if opts.Metrics != nil {
+		co.m = metricsFor(opts.Metrics)
+	} else {
+		co.m = s.obsPtr.Load()
+	}
+	return co, time.Now()
+}
+
+// child opens a stage span under the current parent (nil when tracing
+// is off).
+func (co callObs) child(name string) *telemetry.Span { return co.sp.Child(name) }
+
+// withSpan rebases the observation state under a new parent span.
+func (co callObs) withSpan(sp *telemetry.Span) callObs {
+	co.sp = sp
+	return co
+}
+
+// track enables budget spend accounting when this call is being traced
+// or explained (Spent feeds the root span and the explain output).
+func (co callObs) track(b *budget.B) {
+	if co.sp != nil || co.ex != nil {
+		b.EnableTracking()
+	}
+}
+
+// countPlan records a plan-cache outcome.
+func (m *servingMetrics) countPlan(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.planHits.Inc()
+	} else {
+		m.planMisses.Inc()
+	}
+}
+
+// countPlan forwards to the call's metrics bundle (nil-safe).
+func (co callObs) countPlan(hit bool) { co.m.countPlan(hit) }
+
+// abandon closes the root span for a call that failed before the
+// pipeline ran (unparsable query, dead context). No metrics are
+// recorded: the pipeline never started.
+func (co callObs) abandon(err error) {
+	if co.sp != nil {
+		co.sp.Err(err)
+		co.sp.End()
+	}
+}
+
+// annotatePlanSpan closes a "plan" stage span with its cache outcome.
+func annotatePlanSpan(sp *telemetry.Span, pl *queryPlan, cache string) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("cache", cache)
+	sp.SetAttr("negative", pl.err != nil)
+	sp.SetAttr("candidates", pl.info.cand)
+	sp.End()
+}
+
+// finishCall closes out one serving call: error classification
+// counters, latency histograms, root span attributes, budget spend for
+// explain, and the slow-query log. src may be empty for pattern-based
+// calls; q is the fallback rendering of the query, consulted only when
+// a slow-log entry is actually recorded (String is not free).
+func (s *System) finishCall(co callObs, b *budget.B, t0 time.Time, src string, q *pattern.Pattern, strat string, res *Result, err error) {
+	total := time.Since(t0)
+	if res != nil {
+		res.TotalNanos = int64(total)
+	}
+	if co.sp != nil || co.ex != nil {
+		steps, homs := b.Spent()
+		if co.sp != nil {
+			co.sp.SetAttr("strategy", strat)
+			if res != nil {
+				co.sp.SetAttr("answers", len(res.Answers))
+			}
+			if b != nil {
+				co.sp.SetAttr("budget_steps", steps)
+				co.sp.SetAttr("budget_homs", homs)
+			}
+			co.sp.Err(err)
+			co.sp.End()
+		}
+		if co.ex != nil {
+			co.ex.steps, co.ex.homs = steps, homs
+		}
+	}
+	if m := co.m; m != nil {
+		m.answers.Inc()
+		m.latTotal.Observe(int64(total))
+		if res != nil {
+			if res.ParseNanos > 0 {
+				m.latParse.Observe(res.ParseNanos)
+			}
+			if res.FilterNanos > 0 {
+				m.latFilter.Observe(res.FilterNanos)
+			}
+			if res.SelectNanos > 0 {
+				m.latSelect.Observe(res.SelectNanos)
+			}
+			rw := res.RefineNanos + res.JoinNanos + res.ExtractNanos
+			if rw > 0 {
+				m.latRewrite.Observe(rw)
+			}
+		}
+		if err != nil {
+			m.answerErrs.Inc()
+			switch {
+			case errors.Is(err, ErrNotAnswerable):
+				m.errNotAns.Inc()
+			case errors.Is(err, ErrBudgetExceeded):
+				m.errBudget.Inc()
+			case errors.Is(err, ErrInternal):
+				m.errInternal.Inc()
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				m.errCanceled.Inc()
+			}
+		}
+	}
+	if th := s.slow.Threshold(); th > 0 && total >= th {
+		if co.m != nil {
+			co.m.slowQueries.Inc()
+		}
+		e := SlowQuery{
+			Time:     time.Now(),
+			Strategy: strat,
+			Total:    total,
+		}
+		if src != "" {
+			e.Query = src
+		} else if q != nil {
+			e.Query = q.String()
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		if res != nil {
+			e.Rung = res.Rung
+			e.CacheHit = res.PlanCacheHit
+			e.Parse = time.Duration(res.ParseNanos)
+			e.Filter = time.Duration(res.FilterNanos)
+			e.Select = time.Duration(res.SelectNanos)
+			e.Rewrite = time.Duration(res.RefineNanos + res.JoinNanos + res.ExtractNanos)
+		}
+		s.slow.Record(e)
+	}
+}

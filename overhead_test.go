@@ -1,0 +1,49 @@
+package xpathviews_test
+
+// Telemetry overhead regression guard: the serving hot path (plan-cache
+// hit) must cost at most one extra allocation per call with metrics
+// disabled versus the instrumented default, and enabling the default
+// metrics must itself be allocation-free (atomics only).
+
+import (
+	"context"
+	"testing"
+
+	"xpathviews"
+	"xpathviews/internal/paperdata"
+)
+
+// hitPathAllocBudget is the PR-3 baseline for BenchmarkAnswerPlanCache
+// (76 allocs/op, BENCH_serving.json) plus the one allocation the
+// telemetry layer is allowed to add.
+const hitPathAllocBudget = 77
+
+func TestTelemetryOverheadAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	sys, _ := obsSystem(t)
+	ctx := context.Background()
+	opts := xpathviews.Options{Strategy: xpathviews.HV}
+	call := func() {
+		if _, err := sys.AnswerContext(ctx, paperdata.QueryE, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call() // warm the plan cache
+
+	sys.SetMetricsRegistry(nil)
+	disabled := testing.AllocsPerRun(200, call)
+
+	sys.SetMetricsRegistry(xpathviews.NewMetricsRegistry())
+	enabled := testing.AllocsPerRun(200, call)
+
+	if enabled > disabled+1 {
+		t.Fatalf("metrics add %.1f allocs/op (disabled %.1f, enabled %.1f); budget is 1",
+			enabled-disabled, disabled, enabled)
+	}
+	if disabled > hitPathAllocBudget {
+		t.Fatalf("telemetry-disabled hit path allocates %.1f/op, budget %d",
+			disabled, hitPathAllocBudget)
+	}
+}

@@ -48,12 +48,41 @@ type queryPlan struct {
 	q *pattern.Pattern
 	// sel is the chosen selection; nil when err is set.
 	sel *selection.Selection
-	// cand is |V'| after filtering (the registry size for MN).
-	cand int
+	// info records how the plan was computed (candidate set, stage
+	// timings) for Result accounting and Explain.
+	info planInfo
 	// err caches a negative outcome (ErrNotAnswerable): repeated
 	// unanswerable queries — the common case in a fallback chain — skip
 	// filtering and selection too.
 	err error
+}
+
+// planInfo is the observable by-product of computing a plan: the
+// filtering outcome and the per-stage wall time. Stored with the plan
+// so a later Explain of a cache hit can still show the surviving view
+// set and what the plan cost to build.
+type planInfo struct {
+	// cand is |V'| after filtering (the registry size for MN).
+	cand int
+	// candIDs are the surviving view IDs after VFILTER (nil for MN).
+	candIDs []int
+	// allViews marks MN: no filtering ran, every view was considered.
+	allViews bool
+	// filterNanos/selectNanos are the plan-computation stage times.
+	filterNanos int64
+	selectNanos int64
+}
+
+// cacheLabel names the plan-cache outcome for spans and Explain.
+func cacheLabel(hit, useCache bool) string {
+	switch {
+	case !useCache:
+		return "bypass"
+	case hit:
+		return "hit"
+	default:
+		return "miss"
+	}
 }
 
 // cachePlans reports whether this call's options route through the plan
@@ -107,46 +136,60 @@ func normalizeQuery(src string) string {
 func (s *System) bumpPlanGen() { s.planGen.Add(1) }
 
 // planLocked returns the plan for the minimized pattern q under strat,
-// consulting the cache when useCache is set. Called under s.mu (read):
-// the generation cannot change while we hold it, so a plan computed here
-// is valid for this call even if it is evicted concurrently.
+// consulting the cache when useCache is set, and reports whether it was
+// served from the cache. Called under s.mu (read): the generation cannot
+// change while we hold it, so a plan computed here is valid for this
+// call even if it is evicted concurrently.
 //
-// The returned plan may carry a cached negative outcome in pl.err;
-// transient failures (budget exhaustion, cancellation, contained
+// Exactly one of the hit/miss counters on co's registry is incremented
+// per call that obtains a plan through the cache; bypasses count
+// separately. The returned plan may carry a cached negative outcome in
+// pl.err; transient failures (budget exhaustion, cancellation, contained
 // internal errors) are returned as err and never cached.
-func (s *System) planLocked(q *pattern.Pattern, strat Strategy, b *budget.B, useCache bool) (*queryPlan, error) {
+func (s *System) planLocked(q *pattern.Pattern, strat Strategy, b *budget.B, useCache bool, co callObs) (*queryPlan, bool, error) {
 	if !useCache {
-		return s.computePlanLocked(q, strat, b)
+		if co.m != nil {
+			co.m.planBypass.Inc()
+		}
+		pl, err := s.computePlanLocked(q, strat, b, co)
+		return pl, false, err
 	}
 	gen := s.planGen.Load()
 	key := planKey(strat, q.String())
+	computed := false
 	v, err, shared := s.plans.GetOrCompute(key, gen, func() (any, error) {
-		return s.computePlanLocked(q, strat, b)
+		computed = true
+		return s.computePlanLocked(q, strat, b, co)
 	})
 	if err != nil {
 		if shared {
 			// The in-flight leader failed on *its* budget or context;
 			// that verdict is not ours. Compute under our own budget,
 			// uncached.
-			return s.computePlanLocked(q, strat, b)
+			pl, cerr := s.computePlanLocked(q, strat, b, co)
+			if cerr == nil {
+				co.countPlan(false)
+			}
+			return pl, false, cerr
 		}
-		return nil, err
+		return nil, false, err
 	}
-	return v.(*queryPlan), nil
+	co.countPlan(!computed)
+	return v.(*queryPlan), !computed, nil
 }
 
 // computePlanLocked runs filtering + selection and wraps the outcome as
 // a plan. Only the two cacheable outcomes return a non-nil plan: a
 // successful selection, or a definite ErrNotAnswerable.
-func (s *System) computePlanLocked(q *pattern.Pattern, strat Strategy, b *budget.B) (*queryPlan, error) {
-	sel, cand, err := s.selectLocked(q, strat, b)
+func (s *System) computePlanLocked(q *pattern.Pattern, strat Strategy, b *budget.B, co callObs) (*queryPlan, error) {
+	sel, info, err := s.selectLocked(q, strat, b, co)
 	if err != nil {
 		if errors.Is(err, ErrNotAnswerable) {
-			return &queryPlan{q: q, cand: cand, err: err}, nil
+			return &queryPlan{q: q, info: info, err: err}, nil
 		}
 		return nil, err
 	}
-	return &queryPlan{q: q, sel: sel, cand: cand}, nil
+	return &queryPlan{q: q, sel: sel, info: info}, nil
 }
 
 // putPlanAlias stores pl under an additional key (the raw source

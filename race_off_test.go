@@ -1,0 +1,5 @@
+//go:build !race
+
+package xpathviews_test
+
+const raceEnabled = false

@@ -75,6 +75,18 @@ type Options struct {
 	// one-shot queries that should not displace the hot set, or to
 	// measure the uncached pipeline.
 	NoPlanCache bool
+	// Trace, when non-nil, collects this call's span tree: one span per
+	// pipeline stage (parse, plan/vfilter/select, rewrite with
+	// refine/join/extract children, collect) with stage attributes.
+	// Tracing allocates — leave nil on the hot path. Build with
+	// NewTrace().
+	Trace *Trace
+	// Metrics overrides the metrics registry for this call only; nil
+	// uses the system's registry (see SetMetricsRegistry).
+	Metrics *MetricsRegistry
+	// explain, when non-nil, collects plan detail (surviving views,
+	// selected covers, cache status) for System.Explain.
+	explain *explainSink
 }
 
 // budget builds the call's budget over ctx.
@@ -144,70 +156,128 @@ func runStage[T any](stage string, f func() (T, error)) (out T, err error) {
 // selection. Pipeline panics and injected faults come back as
 // ErrInternal, never as a crash.
 func (s *System) AnswerContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	co, t0 := s.startObs(opts)
 	if cachePlans(opts) {
-		return s.answerSrcCached(ctx, src, opts)
+		return s.answerSrcCached(ctx, src, opts, co, t0)
 	}
+	sp := co.child("parse")
+	pt := time.Now()
 	q, err := xpath.Parse(src)
+	parseNanos := int64(time.Since(pt))
 	if err != nil {
+		sp.Err(err)
+		sp.End()
+		co.abandon(err)
 		return nil, err
 	}
-	return s.AnswerPatternContext(ctx, q, opts)
+	sp.End()
+	return s.answerPatternObs(ctx, q, opts, co, t0, parseNanos, src)
 }
 
 // answerSrcCached is AnswerContext's plan-cached path: the raw source
 // spelling is itself a cache key (aliasing the canonical pattern key),
 // so a textual repeat skips parsing, minimization, filtering and
 // selection — only §V's rewriting runs.
-func (s *System) answerSrcCached(ctx context.Context, src string, opts Options) (*Result, error) {
+func (s *System) answerSrcCached(ctx context.Context, src string, opts Options, co callObs, t0 time.Time) (*Result, error) {
 	ctx, cancel, err := servingContext(ctx, opts)
 	if err != nil {
+		co.abandon(err)
 		return nil, err
 	}
 	defer cancel()
 	b := opts.budget(ctx)
+	co.track(b)
+	var parseNanos int64
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	srcKey := planKey(opts.Strategy, normalizeQuery(src))
-	pl, ok := s.lookupPlan(srcKey)
-	if !ok {
+	pl, hit := s.lookupPlan(srcKey)
+	if hit {
+		co.countPlan(true)
+		if co.sp != nil || co.ex != nil {
+			psp := co.child("plan")
+			annotatePlanSpan(psp, pl, "hit")
+			co.fillExplainPlan(s, pl, true, true)
+		}
+	} else {
+		sp := co.child("parse")
+		pt := time.Now()
 		q, err := xpath.Parse(src)
 		if err != nil {
+			sp.Err(err)
+			sp.End()
+			co.abandon(err)
 			return nil, err
 		}
 		qm := pattern.Minimize(q)
-		pl, err = s.planLocked(qm, opts.Strategy, b, true)
+		parseNanos = int64(time.Since(pt))
+		sp.End()
+		psp := co.child("plan")
+		pl, hit, err = s.planLocked(qm, opts.Strategy, b, true, co.withSpan(psp))
 		if err != nil {
+			if psp != nil {
+				psp.Err(err)
+				psp.End()
+			}
 			s.observe(qm, false, err)
+			s.finishCall(co, b, t0, src, nil, opts.Strategy.String(), nil, err)
 			return nil, err
 		}
+		annotatePlanSpan(psp, pl, cacheLabel(hit, true))
+		co.fillExplainPlan(s, pl, hit, true)
 		s.putPlanAlias(srcKey, pl)
 	}
-	res, err := s.answerPlanLocked(pl, opts.Strategy, b)
+	res, err := s.answerPlanLocked(pl, opts.Strategy, b, co)
 	s.observe(pl.q, err == nil, err)
 	if err != nil {
+		s.finishCall(co, b, t0, src, pl.q, opts.Strategy.String(), nil, err)
 		return nil, err
 	}
+	res.PlanCacheHit = hit
+	res.ParseNanos = parseNanos
+	if !hit {
+		res.FilterNanos = pl.info.filterNanos
+		res.SelectNanos = pl.info.selectNanos
+	}
 	truncate(res, opts.MaxAnswers)
+	s.finishCall(co, b, t0, src, pl.q, opts.Strategy.String(), res, nil)
 	return res, nil
 }
 
 // AnswerPatternContext is AnswerContext for already-parsed queries.
 func (s *System) AnswerPatternContext(ctx context.Context, q *pattern.Pattern, opts Options) (*Result, error) {
+	co, t0 := s.startObs(opts)
+	return s.answerPatternObs(ctx, q, opts, co, t0, 0, "")
+}
+
+// answerPatternObs is the shared pattern-entry tail: minimize, answer
+// under the read lock, close out observation. parseNanos carries the
+// caller's parse cost when the query arrived as text.
+func (s *System) answerPatternObs(ctx context.Context, q *pattern.Pattern, opts Options, co callObs, t0 time.Time, parseNanos int64, src string) (*Result, error) {
 	ctx, cancel, err := servingContext(ctx, opts)
 	if err != nil {
+		co.abandon(err)
 		return nil, err
 	}
 	defer cancel()
 	b := opts.budget(ctx)
+	co.track(b)
+	nsp := co.child("normalize")
+	nt := time.Now()
 	qm := pattern.Minimize(q)
+	parseNanos += int64(time.Since(nt))
+	nsp.End()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.answerLocked(qm, opts.Strategy, b, !opts.NoPlanCache)
+	res, err := s.answerLocked(qm, opts.Strategy, b, !opts.NoPlanCache, co)
 	s.observe(qm, err == nil && isViewStrategy(opts.Strategy), err)
 	if err != nil {
+		s.finishCall(co, b, t0, src, qm, opts.Strategy.String(), nil, err)
 		return nil, err
 	}
+	res.ParseNanos = parseNanos
 	truncate(res, opts.MaxAnswers)
+	s.finishCall(co, b, t0, src, qm, opts.Strategy.String(), res, nil)
 	return res, nil
 }
 
@@ -225,15 +295,23 @@ func isViewStrategy(s Strategy) bool {
 // Strategy comes from the strat argument; opts contributes Timeout,
 // MaxSteps and MaxHoms.
 func (s *System) SelectContext(ctx context.Context, q *pattern.Pattern, strat Strategy, opts Options) (*selection.Selection, int, error) {
+	co, _ := s.startObs(opts)
 	ctx, cancel, err := servingContext(ctx, opts)
 	if err != nil {
+		co.abandon(err)
 		return nil, 0, err
 	}
 	defer cancel()
 	b := opts.budget(ctx)
+	co.track(b)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.selectLocked(pattern.Minimize(q), strat, b)
+	sel, info, err := s.selectLocked(pattern.Minimize(q), strat, b, co)
+	if co.sp != nil {
+		co.sp.Err(err)
+		co.sp.End()
+	}
+	return sel, info.cand, err
 }
 
 // AnswerResilient serves the query through a fallback chain (default
@@ -252,8 +330,10 @@ func (s *System) AnswerResilient(ctx context.Context, src string, opts Options) 
 
 // AnswerPatternResilient is AnswerResilient for already-parsed queries.
 func (s *System) AnswerPatternResilient(ctx context.Context, q *pattern.Pattern, opts Options) (*Result, error) {
+	co, t0 := s.startObs(opts)
 	ctx, cancel, err := servingContext(ctx, opts)
 	if err != nil {
+		co.abandon(err)
 		return nil, err
 	}
 	defer cancel()
@@ -268,20 +348,40 @@ func (s *System) AnswerPatternResilient(ctx context.Context, q *pattern.Pattern,
 	defer s.mu.RUnlock()
 	for _, rung := range chain {
 		if err := ctx.Err(); err != nil {
+			co.abandon(err)
 			return nil, err
 		}
 		// Each rung gets a fresh step/hom budget; the deadline is shared.
-		res, err := s.answerRungLocked(q, rung, opts.budget(ctx), !opts.NoPlanCache)
+		b := opts.budget(ctx)
+		co.track(b)
+		var rsp *Span
+		if co.sp != nil {
+			rsp = co.sp.Child("rung:" + rung.String())
+		}
+		res, err := s.answerRungLocked(q, rung, b, !opts.NoPlanCache, co.withSpan(rsp))
 		if err == nil {
+			rsp.End()
 			res.Rung = rung.String()
 			res.Degraded = len(reasons) > 0
 			res.DegradedReasons = reasons
 			truncate(res, opts.MaxAnswers)
 			s.observe(q, viewRung(rung), nil)
+			if co.m != nil && int(rung) < len(co.m.rungServed) {
+				co.m.rungServed[rung].Inc()
+			}
+			s.finishCall(co, b, t0, "", q, "resilient", res, nil)
 			return res, nil
 		}
+		if rsp != nil {
+			rsp.Err(err)
+			rsp.End()
+		}
 		if !degradable(err) {
+			s.finishCall(co, b, t0, "", q, "resilient", nil, err)
 			return nil, err
+		}
+		if co.m != nil {
+			co.m.rungFallbacks.Inc()
 		}
 		lastErr = err
 		reasons = append(reasons, fmt.Sprintf("%s: %v", rung, err))
@@ -290,8 +390,10 @@ func (s *System) AnswerPatternResilient(ctx context.Context, q *pattern.Pattern,
 		lastErr = ErrNotAnswerable // empty chain cannot happen, but be safe
 	}
 	s.observe(q, false, lastErr)
-	return nil, fmt.Errorf("xpathviews: all fallback rungs failed (%s): %w",
+	err = fmt.Errorf("xpathviews: all fallback rungs failed (%s): %w",
 		strings.Join(reasons, "; "), lastErr)
+	s.finishCall(co, nil, t0, "", q, "resilient", nil, err)
+	return nil, err
 }
 
 // viewRung reports whether a fallback rung answers from materialized
@@ -306,22 +408,22 @@ func viewRung(r Rung) bool {
 }
 
 // answerRungLocked answers one fallback rung under s.mu (read).
-func (s *System) answerRungLocked(q *pattern.Pattern, rung Rung, b *budget.B, useCache bool) (*Result, error) {
+func (s *System) answerRungLocked(q *pattern.Pattern, rung Rung, b *budget.B, useCache bool, co callObs) (*Result, error) {
 	switch rung {
 	case RungHV:
-		return s.answerLocked(q, HV, b, useCache)
+		return s.answerLocked(q, HV, b, useCache, co)
 	case RungMV:
-		return s.answerLocked(q, MV, b, useCache)
+		return s.answerLocked(q, MV, b, useCache, co)
 	case RungCV:
-		return s.answerLocked(q, CV, b, useCache)
+		return s.answerLocked(q, CV, b, useCache, co)
 	case RungMN:
-		return s.answerLocked(q, MN, b, useCache)
+		return s.answerLocked(q, MN, b, useCache, co)
 	case RungBN:
-		return s.answerLocked(q, BN, b, useCache)
+		return s.answerLocked(q, BN, b, useCache, co)
 	case RungBF:
-		return s.answerLocked(q, BF, b, useCache)
+		return s.answerLocked(q, BF, b, useCache, co)
 	case RungContained:
-		res, err := s.containedLocked(q, b)
+		res, err := s.containedLocked(q, b, co)
 		if err != nil {
 			return nil, err
 		}
@@ -339,15 +441,23 @@ func (s *System) answerRungLocked(q *pattern.Pattern, rung Rung, b *budget.B, us
 // answerLocked evaluates q under s.mu (read) with panic containment per
 // stage. q must already be minimized. useCache routes view strategies
 // through the plan cache (see plan.go).
-func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B, useCache bool) (*Result, error) {
+func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B, useCache bool, co callObs) (*Result, error) {
 	res := &Result{Strategy: strat}
 	switch strat {
 	case BN:
+		sp := co.child("eval")
 		nodes, err := runStage("engine.bn", func() ([]*xmltree.Node, error) {
 			return s.bn.EvalBudget(q, b)
 		})
 		if err != nil {
+			sp.Err(err)
+			sp.End()
 			return nil, err
+		}
+		if sp != nil {
+			sp.SetAttr("engine", "bn")
+			sp.SetAttr("nodes", len(nodes))
+			sp.End()
 		}
 		if err := s.collectDoc(res, nodes); err != nil {
 			return nil, err
@@ -355,22 +465,46 @@ func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B, u
 		return res, nil
 	case BF:
 		bf := s.lazyBF()
+		sp := co.child("eval")
 		nodes, err := runStage("engine.bf", func() ([]*xmltree.Node, error) {
 			return bf.EvalBudget(q, b)
 		})
 		if err != nil {
+			sp.Err(err)
+			sp.End()
 			return nil, err
+		}
+		if sp != nil {
+			sp.SetAttr("engine", "bf")
+			sp.SetAttr("nodes", len(nodes))
+			sp.End()
 		}
 		if err := s.collectDoc(res, nodes); err != nil {
 			return nil, err
 		}
 		return res, nil
 	case MN, MV, HV, CV:
-		pl, err := s.planLocked(q, strat, b, useCache)
+		psp := co.child("plan")
+		pl, hit, err := s.planLocked(q, strat, b, useCache, co.withSpan(psp))
+		if err != nil {
+			if psp != nil {
+				psp.Err(err)
+				psp.End()
+			}
+			return nil, err
+		}
+		annotatePlanSpan(psp, pl, cacheLabel(hit, useCache))
+		co.fillExplainPlan(s, pl, hit, useCache)
+		res, err := s.answerPlanLocked(pl, strat, b, co)
 		if err != nil {
 			return nil, err
 		}
-		return s.answerPlanLocked(pl, strat, b)
+		res.PlanCacheHit = hit
+		if !hit {
+			res.FilterNanos = pl.info.filterNanos
+			res.SelectNanos = pl.info.selectNanos
+		}
+		return res, nil
 	default:
 		return nil, fmt.Errorf("xpathviews: unknown strategy %v", strat)
 	}
@@ -379,22 +513,53 @@ func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B, u
 // answerPlanLocked runs §V's rewriting — the only per-call, data-
 // dependent stage — for a (possibly cached) plan under s.mu (read). A
 // plan carrying a cached negative outcome returns it immediately.
-func (s *System) answerPlanLocked(pl *queryPlan, strat Strategy, b *budget.B) (*Result, error) {
+func (s *System) answerPlanLocked(pl *queryPlan, strat Strategy, b *budget.B, co callObs) (*Result, error) {
 	if pl.err != nil {
+		if co.m != nil {
+			co.m.planNegative.Inc()
+		}
 		return nil, pl.err
 	}
-	res := &Result{Strategy: strat, CandidatesAfterFilter: pl.cand, HomsComputed: pl.sel.HomsComputed}
+	res := &Result{Strategy: strat, CandidatesAfterFilter: pl.info.cand, HomsComputed: pl.sel.HomsComputed}
 	for _, c := range pl.sel.Covers {
 		res.ViewsUsed = append(res.ViewsUsed, c.View.ID)
 	}
+	rsp := co.child("rewrite")
+	rstart := time.Now()
 	out, err := runStage("rewrite", func() (*rewrite.Result, error) {
 		return rewrite.ExecuteBudget(pl.q, pl.sel, s.fst, b)
 	})
 	if err != nil {
+		rsp.Err(err)
+		rsp.End()
 		return nil, err
 	}
+	res.RefineNanos = out.RefineNanos
+	res.JoinNanos = out.JoinNanos
+	res.ExtractNanos = out.ExtractNanos
+	if rsp != nil {
+		t := rstart
+		ref := rsp.ChildTimed("refine", t, time.Duration(out.RefineNanos))
+		ref.SetAttr("workers", out.RefineWorkers)
+		t = t.Add(time.Duration(out.RefineNanos))
+		if out.JoinNanos > 0 {
+			jn := rsp.ChildTimed("join", t, time.Duration(out.JoinNanos))
+			jn.SetAttr("fragments_joined", out.FragmentsJoined)
+			t = t.Add(time.Duration(out.JoinNanos))
+		}
+		ext := rsp.ChildTimed("extract", t, time.Duration(out.ExtractNanos))
+		ext.SetAttr("workers", out.ExtractWorkers)
+		rsp.SetAttr("views", len(pl.sel.Covers))
+		rsp.SetAttr("fragments_scanned", out.FragmentsScanned)
+		rsp.End()
+	}
+	csp := co.child("collect")
 	for _, a := range out.Answers {
 		res.Answers = append(res.Answers, Answer{Code: a.Code, Node: a.Node})
+	}
+	if csp != nil {
+		csp.SetAttr("answers", len(res.Answers))
+		csp.End()
 	}
 	return res, nil
 }

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xpathviews/internal/advisor"
 	"xpathviews/internal/budget"
@@ -40,6 +41,7 @@ import (
 	"xpathviews/internal/plancache"
 	"xpathviews/internal/rewrite"
 	"xpathviews/internal/selection"
+	"xpathviews/internal/telemetry"
 	"xpathviews/internal/vfilter"
 	"xpathviews/internal/views"
 	"xpathviews/internal/xmltree"
@@ -118,6 +120,13 @@ type System struct {
 	// outlive the views it references.
 	plans   *plancache.Cache
 	planGen atomic.Uint64
+
+	// obsPtr holds the system's pre-resolved serving metrics (see
+	// observe.go); nil disables metrics. An atomic pointer keeps the
+	// per-call resolution at one load.
+	obsPtr atomic.Pointer[servingMetrics]
+	// slow is the slow-query ring; disarmed (threshold 0) by default.
+	slow *telemetry.SlowLog
 }
 
 // Open prepares a system over an in-memory document, deriving the FST
@@ -135,7 +144,7 @@ func OpenWithFST(doc *xmltree.Tree, fst *dewey.FST) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xpathviews: %w", err)
 	}
-	return &System{
+	sys := &System{
 		doc:      doc,
 		enc:      enc,
 		fst:      fst,
@@ -143,7 +152,10 @@ func OpenWithFST(doc *xmltree.Tree, fst *dewey.FST) (*System, error) {
 		filter:   vfilter.New(),
 		bn:       engine.NewBN(doc),
 		plans:    plancache.New(0, 0),
-	}, nil
+		slow:     telemetry.NewSlowLog(0),
+	}
+	sys.obsPtr.Store(metricsFor(telemetry.Default()))
+	return sys, nil
 }
 
 // OpenXML parses an XML document and prepares a system over it.
@@ -268,6 +280,27 @@ type Result struct {
 	Partial bool
 	// Truncated reports that MaxAnswers cut the answer list short.
 	Truncated bool
+
+	// PlanCacheHit reports the call was served from a memoized query
+	// plan: filtering and selection were skipped entirely (view
+	// strategies only).
+	PlanCacheHit bool
+	// Stage wall times, in nanoseconds, populated on every call without
+	// tracing. ParseNanos covers parsing + minimization and is zero when
+	// the caller supplied a pattern or the raw source hit the plan-cache
+	// alias; FilterNanos and SelectNanos cover §III filtering and §IV
+	// selection and are zero on a plan-cache hit (the cached plan skips
+	// both — Explain still shows what the plan originally cost);
+	// RefineNanos/JoinNanos/ExtractNanos cover §V's rewriting stages and
+	// are populated on hits and misses alike. TotalNanos is the whole
+	// call.
+	ParseNanos   int64
+	FilterNanos  int64
+	SelectNanos  int64
+	RefineNanos  int64
+	JoinNanos    int64
+	ExtractNanos int64
+	TotalNanos   int64
 }
 
 // Codes returns the sorted answer codes as strings.
@@ -298,53 +331,94 @@ func (s *System) Select(q *pattern.Pattern, strat Strategy) (*selection.Selectio
 	return s.SelectContext(context.Background(), q, strat, Options{Strategy: strat})
 }
 
-// selectLocked runs selection under s.mu (read) with a budget. Stage
-// failures (injected faults, panics) are converted to *InternalError.
-func (s *System) selectLocked(q *pattern.Pattern, strat Strategy, b *budget.B) (*selection.Selection, int, error) {
+// selectLocked runs selection under s.mu (read) with a budget,
+// returning the selection plus the planInfo accounting (candidate set,
+// stage timings). Stage failures (injected faults, panics) are
+// converted to *InternalError. When tracing is on, it emits the
+// "vfilter" and "select" stage spans.
+func (s *System) selectLocked(q *pattern.Pattern, strat Strategy, b *budget.B, co callObs) (*selection.Selection, planInfo, error) {
+	var info planInfo
 	filtering := func() (*vfilter.Result, error) {
-		return runStage("vfilter.filtering", func() (*vfilter.Result, error) {
+		sp := co.child("vfilter")
+		t := time.Now()
+		fres, err := runStage("vfilter.filtering", func() (*vfilter.Result, error) {
 			return s.filter.FilteringBudget(q, b)
 		})
+		info.filterNanos = int64(time.Since(t))
+		if sp != nil {
+			sp.SetAttr("views", s.registry.Len())
+			if fres != nil {
+				sp.SetAttr("candidates", len(fres.Candidates))
+				sp.SetAttr("query_paths", len(fres.QueryPaths))
+			}
+			sp.Err(err)
+			sp.End()
+		}
+		if fres != nil {
+			info.cand = len(fres.Candidates)
+			info.candIDs = fres.Candidates
+		}
+		return fres, err
+	}
+	sel := func(algo string, f func() (*selection.Selection, error)) (*selection.Selection, planInfo, error) {
+		sp := co.child("select")
+		t := time.Now()
+		out, err := runStage(algo, f)
+		info.selectNanos = int64(time.Since(t))
+		if sp != nil {
+			sp.SetAttr("algo", algo)
+			sp.SetAttr("candidates", info.cand)
+			if out != nil {
+				leaves := 0
+				for _, c := range out.Covers {
+					leaves += len(c.Leaves)
+				}
+				sp.SetAttr("covers", len(out.Covers))
+				sp.SetAttr("leaves_covered", leaves)
+				sp.SetAttr("homs", out.HomsComputed)
+			}
+			sp.Err(err)
+			sp.End()
+		}
+		return out, info, err
 	}
 	switch strat {
 	case MN:
-		sel, err := runStage("selection.minimum", func() (*selection.Selection, error) {
+		info.cand = s.registry.Len()
+		info.allViews = true
+		return sel("selection.minimum", func() (*selection.Selection, error) {
 			return selection.MinimumBudget(q, s.registry.Views(), b)
 		})
-		return sel, s.registry.Len(), err
 	case MV:
 		fres, err := filtering()
 		if err != nil {
-			return nil, 0, err
+			return nil, info, err
 		}
 		cands := make([]*views.View, 0, len(fres.Candidates))
 		for _, id := range fres.Candidates {
 			cands = append(cands, s.registry.Get(id))
 		}
-		sel, err := runStage("selection.minimum", func() (*selection.Selection, error) {
+		return sel("selection.minimum", func() (*selection.Selection, error) {
 			return selection.MinimumBudget(q, cands, b)
 		})
-		return sel, len(fres.Candidates), err
 	case HV:
 		fres, err := filtering()
 		if err != nil {
-			return nil, 0, err
+			return nil, info, err
 		}
-		sel, err := runStage("selection.heuristic", func() (*selection.Selection, error) {
+		return sel("selection.heuristic", func() (*selection.Selection, error) {
 			return selection.HeuristicBudget(q, fres, s.registry, b)
 		})
-		return sel, len(fres.Candidates), err
 	case CV:
 		fres, err := filtering()
 		if err != nil {
-			return nil, 0, err
+			return nil, info, err
 		}
-		sel, err := runStage("selection.costbased", func() (*selection.Selection, error) {
+		return sel("selection.costbased", func() (*selection.Selection, error) {
 			return selection.CostBasedBudget(q, fres, s.registry, selection.DefaultCostParams(), b)
 		})
-		return sel, len(fres.Candidates), err
 	default:
-		return nil, 0, fmt.Errorf("xpathviews: %v is not a view strategy", strat)
+		return nil, info, fmt.Errorf("xpathviews: %v is not a view strategy", strat)
 	}
 }
 
@@ -379,7 +453,7 @@ func (s *System) AnswerContained(src string) (*Result, bool, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.containedLocked(pattern.Minimize(q), nil)
+	res, err := s.containedLocked(pattern.Minimize(q), nil, callObs{})
 	if err != nil {
 		return nil, false, err
 	}
@@ -387,16 +461,25 @@ func (s *System) AnswerContained(src string) (*Result, bool, error) {
 }
 
 // containedLocked runs the contained rewriting under s.mu (read).
-func (s *System) containedLocked(q *pattern.Pattern, b *budget.B) (*Result, error) {
+func (s *System) containedLocked(q *pattern.Pattern, b *budget.B, co callObs) (*Result, error) {
+	sp := co.child("contained")
 	out, err := runStage("rewrite.contained", func() (*rewrite.ContainedResult, error) {
 		return rewrite.ContainedBudget(q, s.registry.ViewList, s.fst, b)
 	})
 	if err != nil {
+		sp.Err(err)
+		sp.End()
 		return nil, err
 	}
 	res := &Result{Strategy: HV, ViewsUsed: out.ViewsUsed, Partial: !out.Complete}
 	for _, a := range out.Answers {
 		res.Answers = append(res.Answers, Answer{Code: a.Code, Node: a.Node})
+	}
+	if sp != nil {
+		sp.SetAttr("views_used", len(out.ViewsUsed))
+		sp.SetAttr("complete", out.Complete)
+		sp.SetAttr("answers", len(res.Answers))
+		sp.End()
 	}
 	return res, nil
 }
