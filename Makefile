@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo
+.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo serve-demo bench-server
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a short fuzz smoke of the XPath parser.
@@ -41,6 +41,32 @@ obs-demo:
 		-view '//s[t]/p' -view '//s[a][.//i]//p' -view '//s[*//t]//p' -view '//s[p]/f' \
 		-strategy HV -explain -slowlog 1ns -metrics '//s[f//i][t]/p'
 	$(GO) run ./cmd/xpvbench -obs -quick
+
+# serve-demo boots xpvserved on the paper's running example (Figure 2
+# document, Table I views), round-trips a query, the explain endpoint,
+# liveness and the metrics exposition, then drains it with SIGTERM and
+# requires a clean exit.
+serve-demo:
+	printf '%s' '<b><t/><a/><a/><s><t/><p/><p/><f><i/></f><s><t/><p/><p/><f><i/></f></s></s><s><t/><p/><p/><s><t/><p/><f><i/></f></s><s><t/><p/></s></s></b>' > /tmp/xpv-book.xml
+	$(GO) build -o /tmp/xpvserved ./cmd/xpvserved
+	set -e; \
+	/tmp/xpvserved -addr 127.0.0.1:8931 -doc /tmp/xpv-book.xml \
+	  -view '//s[t]/p' -view '//s[a][.//i]//p' -view '//s[*//t]//p' -view '//s[p]/f' \
+	  -slowlog 1ms & pid=$$!; \
+	for i in $$(seq 1 100); do curl -fsS http://127.0.0.1:8931/readyz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -fsS -X POST -d '{"query": "//s[f//i][t]/p", "include_xml": true}' http://127.0.0.1:8931/v1/query; \
+	curl -fsS -G --data-urlencode 'query=//s[f//i][t]/p' --data-urlencode 'strategy=HV' http://127.0.0.1:8931/v1/explain >/dev/null; \
+	curl -fsS http://127.0.0.1:8931/healthz; \
+	curl -fsS http://127.0.0.1:8931/metrics | grep xpvd_requests_total; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	echo "serve-demo: drained cleanly"
+
+# bench-server runs the daemon load-test harness (sustained, overload
+# with degraded-rung serving, SIGTERM drain) and refreshes the
+# machine-readable report in BENCH_server.json.
+bench-server:
+	XPV_BENCH_SERVER=1 $(GO) test -run=TestServerBenchReport -count=1 -v ./internal/server
 
 # advise-demo generates a positive workload and runs the advisor against
 # the naive top-k baseline at the same byte budget.

@@ -1,0 +1,152 @@
+// Command xpvserved serves XPath-over-materialized-views as an
+// HTTP/JSON daemon with per-tenant view registries and quotas,
+// admission control, overload load-shedding onto the resilient rung
+// chain, answer-level request coalescing, and graceful drain on
+// SIGTERM.
+//
+// Usage:
+//
+//	xpvserved -doc site.xml -view '//person/address/city' -addr :8080
+//	xpvserved -xmark 0.1 -tenants tenants.json
+//
+// Endpoints:
+//
+//	POST /v1/query    {"query": "...", ...} or {"queries": ["...", ...]}
+//	GET  /v1/explain  ?query=...&tenant=...&strategy=HV
+//	GET  /metrics     deterministic text exposition
+//	GET  /healthz     liveness (always 200 while the process runs)
+//	GET  /readyz      readiness (503 once drain begins)
+//
+// On SIGTERM/SIGINT the daemon stops accepting work (readiness flips
+// first so load balancers can react), finishes every in-flight query
+// under -drain-timeout, then flushes the slow-query log and a final
+// metrics snapshot to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xpathviews/internal/server"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xmltree"
+)
+
+type viewList []string
+
+func (v *viewList) String() string     { return strings.Join(*v, "; ") }
+func (v *viewList) Set(s string) error { *v = append(*v, s); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	docPath := flag.String("doc", "", "XML document to serve (mutually exclusive with -xmark)")
+	xmarkScale := flag.Float64("xmark", 0, "serve a synthetic XMark-style document at this scale instead of -doc")
+	seed := flag.Int64("seed", 1, "synthetic document seed")
+	tenantsPath := flag.String("tenants", "", "JSON tenant config file ([{name, views, max_in_flight, ...}, ...]); omitted = a single default tenant")
+	maxInflight := flag.Int("max-inflight", 0, "process-wide concurrent query cap (0 = 4x GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue depth beyond the cap (0 = the cap)")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "max time a queued request waits before shedding")
+	pressuredFrac := flag.Float64("pressured-frac", 0.75, "occupancy fraction above which queries are served degraded")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline on SIGTERM")
+	slowlog := flag.Duration("slowlog", 100*time.Millisecond, "slow-query log threshold (0 = off)")
+	maxInflightTenant := flag.Int("tenant-max-inflight", 0, "default tenant's concurrent-query cap (0 = unlimited)")
+	limit := flag.Int("limit", 0, "default tenant's per-view fragment byte cap (0 = library default)")
+	var views viewList
+	flag.Var(&views, "view", "materialize this view for the default tenant (repeatable)")
+	flag.Parse()
+
+	doc, err := loadDoc(*docPath, *xmarkScale, *seed)
+	if err != nil {
+		log.Fatalf("xpvserved: %v", err)
+	}
+
+	cfgs := []server.TenantConfig{{
+		Name:          server.DefaultTenant,
+		Views:         views,
+		FragmentLimit: *limit,
+		MaxInFlight:   *maxInflightTenant,
+	}}
+	if *tenantsPath != "" {
+		data, err := os.ReadFile(*tenantsPath)
+		if err != nil {
+			log.Fatalf("xpvserved: %v", err)
+		}
+		cfgs = nil
+		if err := json.Unmarshal(data, &cfgs); err != nil {
+			log.Fatalf("xpvserved: parse %s: %v", *tenantsPath, err)
+		}
+	}
+	tenants := make([]*server.Tenant, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		t, err := server.NewTenant(cfg, doc)
+		if err != nil {
+			log.Fatalf("xpvserved: %v", err)
+		}
+		tenants = append(tenants, t)
+		log.Printf("tenant %q: %d views materialized", t.Name(), t.System().NumViews())
+	}
+
+	srv, err := server.New(server.Config{
+		MaxInFlight:        *maxInflight,
+		QueueDepth:         *queueDepth,
+		QueueWait:          *queueWait,
+		PressuredFrac:      *pressuredFrac,
+		DrainTimeout:       *drainTimeout,
+		SlowQueryThreshold: *slowlog,
+		DrainLog:           os.Stderr,
+	}, tenants)
+	if err != nil {
+		log.Fatalf("xpvserved: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("xpvserved listening on %s (%d tenants)", *addr, len(tenants))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("xpvserved: %v received, draining (deadline %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx, hs); err != nil {
+			log.Printf("xpvserved: drain: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("xpvserved: drained cleanly")
+	case err := <-errc:
+		log.Fatalf("xpvserved: serve: %v", err)
+	}
+}
+
+// loadDoc resolves the served document: a file, or a synthetic XMark
+// tree, defaulting to a small synthetic one so the daemon runs with no
+// arguments.
+func loadDoc(path string, scale float64, seed int64) (*xmltree.Tree, error) {
+	if path != "" && scale > 0 {
+		return nil, fmt.Errorf("-doc and -xmark are mutually exclusive")
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return xmltree.Parse(f)
+	}
+	if scale <= 0 {
+		scale = 0.05
+	}
+	return xmark.Generate(xmark.Config{Scale: scale, Seed: seed}), nil
+}

@@ -130,6 +130,19 @@ func (b *B) Hom() error {
 	return nil
 }
 
+// CtxErr polls only the caller's context, never the budgets. The serving
+// pipeline calls it at stage seams (parse→filter→select→refine→join→
+// extract→collect) so a disconnected caller cancels the call promptly
+// even when no work unit is charged between stages. Budget exhaustion is
+// deliberately not reported here: a call that consumed exactly its step
+// budget inside a stage must still complete.
+func (b *B) CtxErr() error {
+	if b == nil {
+		return nil
+	}
+	return b.ctx.Err()
+}
+
 // Err polls the context and the budgets without consuming anything.
 func (b *B) Err() error {
 	if b == nil {

@@ -155,6 +155,13 @@ func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST
 		return res, nil // some view contributes nothing → empty result
 	}
 
+	// Seam check: refine → join/extract. Refinement polls the context only
+	// every few hundred steps; a caller that disconnected during it must
+	// not start the join.
+	if err := b.CtxErr(); err != nil {
+		return nil, err
+	}
+
 	// Fast path: a strong Δ-cover answers alone (condition 3, §IV-A).
 	dc := covers[deltaIdx]
 	if dc.Strong && len(covers) == 1 {
@@ -181,6 +188,11 @@ func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST
 		return nil, err
 	}
 	res.FragmentsJoined = len(joined)
+
+	// Seam check: join → extract.
+	if err := b.CtxErr(); err != nil {
+		return nil, err
+	}
 
 	// Stage 4: extraction from the Δ-view's joined fragments.
 	stage = time.Now()

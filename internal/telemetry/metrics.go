@@ -318,8 +318,12 @@ type snapshotLine struct {
 	value any // int64 or HistSnapshot
 }
 
-// snapshot collects every metric under the lock, sorted by name.
-// Histograms expand to one HistSnapshot value.
+// snapshot collects every metric under the lock, in deterministic
+// order: kinds are gathered in a fixed sequence (counters, gauges, gauge
+// funcs, histograms), each sorted by name, then stably sorted by name
+// overall — so two metrics of different kinds sharing a name always
+// appear in the same relative order, run after run. Histograms expand to
+// one HistSnapshot value.
 func (r *Registry) snapshot() []snapshotLine {
 	if r == nil {
 		return nil
@@ -328,36 +332,57 @@ func (r *Registry) snapshot() []snapshotLine {
 	defer r.mu.Unlock()
 	lines := make([]snapshotLine, 0,
 		len(r.counters)+len(r.gauges)+len(r.hists)+len(r.gaugeFuncs))
-	for n, c := range r.counters {
-		lines = append(lines, snapshotLine{n, c.Value()})
+	for _, n := range sortedKeys(r.counters) {
+		lines = append(lines, snapshotLine{n, r.counters[n].Value()})
 	}
-	for n, g := range r.gauges {
-		lines = append(lines, snapshotLine{n, g.Value()})
+	for _, n := range sortedKeys(r.gauges) {
+		lines = append(lines, snapshotLine{n, r.gauges[n].Value()})
 	}
-	for n, fn := range r.gaugeFuncs {
-		lines = append(lines, snapshotLine{n, fn()})
+	for _, n := range sortedKeys(r.gaugeFuncs) {
+		lines = append(lines, snapshotLine{n, r.gaugeFuncs[n]()})
 	}
-	for n, h := range r.hists {
-		lines = append(lines, snapshotLine{n, h.Snapshot()})
+	for _, n := range sortedKeys(r.hists) {
+		lines = append(lines, snapshotLine{n, r.hists[n].Snapshot()})
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
 	return lines
 }
 
-// WriteText writes every metric as expvar-style "name value" lines,
-// sorted by name. Histograms expand to _count/_sum_ns/_p50_ns/_p95_ns/
-// _p99_ns rows.
+// sortedKeys returns m's keys in sorted order, lifting the snapshot out
+// of map iteration order (which changes per run).
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// WriteText writes every metric as expvar-style "name value" lines in
+// deterministic, fully sorted order: histograms expand to _count/
+// _sum_ns/_p50_ns/_p95_ns/_p99_ns rows *before* sorting, so the emitted
+// lines are lexicographic by exposed name and a /metrics scrape (or a
+// golden test) is byte-stable across runs for the same metric values.
 func (r *Registry) WriteText(w io.Writer) error {
-	for _, l := range r.snapshot() {
-		var err error
+	snap := r.snapshot()
+	rows := make([]snapshotLine, 0, len(snap))
+	for _, l := range snap {
 		switch v := l.value.(type) {
 		case HistSnapshot:
-			_, err = fmt.Fprintf(w, "%s_count %d\n%s_sum_ns %d\n%s_p50_ns %d\n%s_p95_ns %d\n%s_p99_ns %d\n",
-				l.name, v.Count, l.name, v.SumNs, l.name, v.P50Ns, l.name, v.P95Ns, l.name, v.P99Ns)
+			rows = append(rows,
+				snapshotLine{l.name + "_count", v.Count},
+				snapshotLine{l.name + "_sum_ns", v.SumNs},
+				snapshotLine{l.name + "_p50_ns", v.P50Ns},
+				snapshotLine{l.name + "_p95_ns", v.P95Ns},
+				snapshotLine{l.name + "_p99_ns", v.P99Ns})
 		default:
-			_, err = fmt.Fprintf(w, "%s %v\n", l.name, l.value)
+			rows = append(rows, l)
 		}
-		if err != nil {
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, l := range rows {
+		if _, err := fmt.Fprintf(w, "%s %v\n", l.name, l.value); err != nil {
 			return err
 		}
 	}

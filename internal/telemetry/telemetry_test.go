@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -138,6 +139,51 @@ func TestRegistryWriteText(t *testing.T) {
 	}
 	if !strings.Contains(j.String(), "\"b_total\": 2") {
 		t.Errorf("WriteJSON missing counter:\n%s", j.String())
+	}
+}
+
+// TestWriteTextDeterministic pins the /metrics exposition contract the
+// serving daemon and golden tests rely on: repeated scrapes of the same
+// registry state are byte-identical (map iteration order must not leak
+// through), lines are fully sorted by exposed name (histogram expansion
+// included), and metrics of different kinds sharing a name keep a stable
+// relative order.
+func TestWriteTextDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Enough names to make map-order leakage overwhelmingly visible,
+	// including a histogram whose expanded rows interleave with plain
+	// metrics, and a counter/gauge name collision.
+	for i := 0; i < 40; i++ {
+		r.Counter(fmt.Sprintf("m%02d_total", i)).Add(int64(i))
+	}
+	r.Histogram("m10_ns").Observe(3000) // expands between m10_total and m11_total
+	r.Counter("dup").Inc()
+	r.Gauge("dup").Set(9)
+	r.GaugeFunc("m20_live", func() int64 { return 5 })
+
+	var first strings.Builder
+	if err := r.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != first.String() {
+			t.Fatalf("WriteText not deterministic:\n--- first ---\n%s--- run %d ---\n%s", first.String(), i, b.String())
+		}
+	}
+	lines := strings.Split(strings.TrimSuffix(first.String(), "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		prev := strings.SplitN(lines[i-1], " ", 2)[0]
+		cur := strings.SplitN(lines[i], " ", 2)[0]
+		if prev > cur {
+			t.Fatalf("WriteText lines not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+	if !strings.Contains(first.String(), "m10_ns_p50_ns") {
+		t.Fatalf("histogram rows missing:\n%s", first.String())
 	}
 }
 

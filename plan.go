@@ -95,6 +95,13 @@ func planKey(strat Strategy, normalized string) string {
 	return strat.String() + "\x00" + normalized
 }
 
+// NormalizeQuery canonicalizes the textual spelling of a query exactly
+// the way the plan cache keys plans. Exported so serving layers (the
+// xpvserved daemon) can key answer-level singleflight coalescing on the
+// same spelling classes the plan cache uses: two requests whose queries
+// normalize identically share one pipeline execution.
+func NormalizeQuery(src string) string { return normalizeQuery(src) }
+
 // normalizeQuery canonicalizes the textual spelling of a query for use
 // as a cache key: whitespace outside quoted attribute literals is
 // dropped, so "//a / b" and "//a/b" share a plan. Distinct-but-

@@ -212,6 +212,11 @@ func (s *System) answerSrcCached(ctx context.Context, src string, opts Options, 
 		qm := pattern.Minimize(q)
 		parseNanos = int64(time.Since(pt))
 		sp.End()
+		// Seam check: parse → plan.
+		if err := b.CtxErr(); err != nil {
+			co.abandon(err)
+			return nil, err
+		}
 		psp := co.child("plan")
 		pl, hit, err = s.planLocked(qm, opts.Strategy, b, true, co.withSpan(psp))
 		if err != nil {
@@ -267,6 +272,11 @@ func (s *System) answerPatternObs(ctx context.Context, q *pattern.Pattern, opts 
 	qm := pattern.Minimize(q)
 	parseNanos += int64(time.Since(nt))
 	nsp.End()
+	// Seam check: parse/normalize → filter.
+	if err := b.CtxErr(); err != nil {
+		co.abandon(err)
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	res, err := s.answerLocked(qm, opts.Strategy, b, !opts.NoPlanCache, co)
@@ -459,6 +469,10 @@ func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B, u
 			sp.SetAttr("nodes", len(nodes))
 			sp.End()
 		}
+		// Seam check: eval → collect.
+		if err := b.CtxErr(); err != nil {
+			return nil, err
+		}
 		if err := s.collectDoc(res, nodes); err != nil {
 			return nil, err
 		}
@@ -478,6 +492,10 @@ func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B, u
 			sp.SetAttr("engine", "bf")
 			sp.SetAttr("nodes", len(nodes))
 			sp.End()
+		}
+		// Seam check: eval → collect.
+		if err := b.CtxErr(); err != nil {
+			return nil, err
 		}
 		if err := s.collectDoc(res, nodes); err != nil {
 			return nil, err
@@ -520,6 +538,11 @@ func (s *System) answerPlanLocked(pl *queryPlan, strat Strategy, b *budget.B, co
 		}
 		return nil, pl.err
 	}
+	// Seam check: the plan stage (or a cache hit) just completed; a caller
+	// that disconnected during it should not pay for the rewriting.
+	if err := b.CtxErr(); err != nil {
+		return nil, err
+	}
 	res := &Result{Strategy: strat, CandidatesAfterFilter: pl.info.cand, HomsComputed: pl.sel.HomsComputed}
 	for _, c := range pl.sel.Covers {
 		res.ViewsUsed = append(res.ViewsUsed, c.View.ID)
@@ -552,6 +575,10 @@ func (s *System) answerPlanLocked(pl *queryPlan, strat Strategy, b *budget.B, co
 		rsp.SetAttr("views", len(pl.sel.Covers))
 		rsp.SetAttr("fragments_scanned", out.FragmentsScanned)
 		rsp.End()
+	}
+	// Seam check: rewrite → collect.
+	if err := b.CtxErr(); err != nil {
+		return nil, err
 	}
 	csp := co.child("collect")
 	for _, a := range out.Answers {

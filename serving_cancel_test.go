@@ -1,0 +1,112 @@
+package xpathviews_test
+
+// Tests for the stage-seam cancellation checks: a context that dies
+// between any two pipeline stages (parse → filter → select → refine →
+// join → extract → collect) must abort the call with the context's error
+// before the next stage starts, so a disconnected HTTP client cancels
+// server-side work promptly.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xpathviews"
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/xmark"
+)
+
+// flipCtx is a context whose Err flips to context.Canceled after a fixed
+// number of polls. It makes seam coverage deterministic: by sweeping the
+// flip point across every poll a full pipeline run performs, the
+// cancellation lands between each consecutive pair of checks — including
+// exactly at every stage seam.
+type flipCtx struct {
+	polls atomic.Int64
+	after int64
+}
+
+func (c *flipCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *flipCtx) Done() <-chan struct{}       { return nil }
+func (c *flipCtx) Value(any) any               { return nil }
+func (c *flipCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancellationObservedAtEverySeam sweeps a poll-counting context's
+// flip point across an entire HV pipeline run on the paper's running
+// example. Every call must finish (no hangs) with either a clean success
+// or context.Canceled — never a partial result after the flip.
+func TestCancellationObservedAtEverySeam(t *testing.T) {
+	sys, err := xpathviews.OpenWithFST(paperdata.BookTree(), paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range paperdata.TableIViews() {
+		if _, err := sys.AddView(v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Count how many context polls one full uncached run performs.
+	probe := &flipCtx{after: 1 << 30}
+	if _, err := sys.AnswerContext(probe, paperdata.QueryE,
+		xpathviews.Options{Strategy: xpathviews.HV, NoPlanCache: true}); err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	total := probe.polls.Load()
+	if total < 3 {
+		t.Fatalf("probe run polled the context only %d times; seam checks missing", total)
+	}
+
+	canceled := 0
+	for after := int64(0); after < total; after++ {
+		ctx := &flipCtx{after: after}
+		res, err := sys.AnswerContext(ctx, paperdata.QueryE,
+			xpathviews.Options{Strategy: xpathviews.HV, NoPlanCache: true})
+		switch {
+		case err == nil:
+			// The flip landed after the last poll of a (shorter) aborted-
+			// free run; a complete result is fine.
+			if len(res.Answers) == 0 {
+				t.Fatalf("after=%d: success with no answers", after)
+			}
+		case errors.Is(err, context.Canceled):
+			canceled++
+		default:
+			t.Fatalf("after=%d: err = %v, want context.Canceled or success", after, err)
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no flip point produced a cancellation")
+	}
+}
+
+// TestCancellationLatency is the wall-clock acceptance check: canceling
+// the context while a large-document query runs must return well within
+// the cooperative polling bound, not after the query finishes.
+func TestCancellationLatency(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.06, Seed: 41})
+	sys, err := xpathviews.Open(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = sys.AnswerContext(ctx, "//*", xpathviews.Options{Strategy: xpathviews.BN})
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (or a fast success)", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancellation took %v to be observed, want prompt return", elapsed)
+	}
+}

@@ -361,6 +361,11 @@ func (s *System) selectLocked(q *pattern.Pattern, strat Strategy, b *budget.B, c
 		return fres, err
 	}
 	sel := func(algo string, f func() (*selection.Selection, error)) (*selection.Selection, planInfo, error) {
+		// Seam check: filter → select. Selection can be exponential; never
+		// start it for a caller that vanished during filtering.
+		if err := b.CtxErr(); err != nil {
+			return nil, info, err
+		}
 		sp := co.child("select")
 		t := time.Now()
 		out, err := runStage(algo, f)
