@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo serve-demo bench-server
+.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo serve-demo statusz-demo bench-server
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a short fuzz smoke of the XPath parser.
@@ -61,6 +61,34 @@ serve-demo:
 	kill -TERM $$pid; \
 	wait $$pid; \
 	echo "serve-demo: drained cleanly"
+
+# statusz-demo exercises the tenant observability surface end to end:
+# boots xpvserved with trace export and pprof armed, sends a query with
+# a W3C traceparent header and checks the trace ID round-trips into the
+# response, reads /statusz (text and JSON) including the SLO burn-rate
+# block, pokes the pprof side listener, then drains with SIGTERM and
+# requires the propagated trace to have landed in the JSONL export.
+statusz-demo:
+	printf '%s' '<b><t/><a/><a/><s><t/><p/><p/><f><i/></f><s><t/><p/><p/><f><i/></f></s></s><s><t/><p/><p/><s><t/><p/><f><i/></f></s><s><t/><p/></s></s></b>' > /tmp/xpv-book.xml
+	$(GO) build -o /tmp/xpvserved ./cmd/xpvserved
+	rm -f /tmp/xpv-traces.jsonl
+	set -e; \
+	/tmp/xpvserved -addr 127.0.0.1:8932 -doc /tmp/xpv-book.xml \
+	  -view '//s[t]/p' -view '//s[a][.//i]//p' -view '//s[*//t]//p' -view '//s[p]/f' \
+	  -trace-export /tmp/xpv-traces.jsonl -pprof 127.0.0.1:8933 -slowlog 1ns & pid=$$!; \
+	for i in $$(seq 1 100); do curl -fsS http://127.0.0.1:8932/readyz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -fsS -X POST -H 'traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01' \
+	  -d '{"query": "//s[f//i][t]/p"}' http://127.0.0.1:8932/v1/query \
+	  | grep 4bf92f3577b34da6a3ce929d0e0e4736 >/dev/null; \
+	curl -fsS http://127.0.0.1:8932/statusz; \
+	curl -fsS http://127.0.0.1:8932/statusz | grep -q 'availability_burn'; \
+	curl -fsS 'http://127.0.0.1:8932/statusz?format=json' | grep -q '"tenants"'; \
+	curl -fsS 'http://127.0.0.1:8932/statusz?runtime=1' | grep -q 'runtime /sched/goroutines'; \
+	curl -fsS http://127.0.0.1:8933/debug/pprof/cmdline >/dev/null; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	grep -q 4bf92f3577b34da6a3ce929d0e0e4736 /tmp/xpv-traces.jsonl; \
+	echo "statusz-demo: trace exported, statusz healthy"
 
 # bench-server runs the daemon load-test harness (sustained, overload
 # with degraded-rung serving, SIGTERM drain) and refreshes the

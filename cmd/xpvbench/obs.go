@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"xpathviews"
+	"xpathviews/internal/telemetry/export"
 	"xpathviews/internal/xmark"
 )
 
@@ -89,6 +90,12 @@ func runObs(w io.Writer, quick bool) error {
 	sys.SetMetricsRegistry(xpathviews.NewMetricsRegistry())
 	enabled := bestOf2(func(b *testing.B) { answer(b, opts) })
 
+	// Tenant-labeled metrics: names resolved once at SetMetricsTenant,
+	// recording must match the unlabeled path (same atomics).
+	sys.SetMetricsTenant(xpathviews.NewMetricsRegistry(), "bench")
+	labeled := bestOf2(func(b *testing.B) { answer(b, opts) })
+	sys.SetMetricsRegistry(xpathviews.NewMetricsRegistry())
+
 	traced := bestOf2(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -100,6 +107,59 @@ func runObs(w io.Writer, quick bool) error {
 		}
 	})
 
+	// Fully exported: span tree built per call, trace ID threaded for
+	// exemplars, tree handed to the async JSONL exporter. The queue is
+	// sized to the run and drained outside the timer so the measured
+	// delta is what the serving path actually pays synchronously (the ID
+	// stamp and a non-blocking channel send); the deferred encode cost
+	// is the writer goroutine's, off the request path.
+	exported := bestOf2(func(b *testing.B) {
+		b.ReportAllocs()
+		exp := export.New(io.Discard, b.N+1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Trace = xpathviews.NewTrace()
+			o.TraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+			o.Trace.SetID(o.TraceID)
+			if _, err := sys.AnswerContext(ctx, obsQuery, o); err != nil {
+				b.Fatal(err)
+			}
+			exp.Export(o.Trace)
+		}
+		b.StopTimer()
+		if exp.Dropped() > 0 {
+			b.Fatalf("exporter dropped %d traces with a run-sized queue", exp.Dropped())
+		}
+		if err := exp.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// Synchronous hand-off cost only: same traced call, the trace handed
+	// to an exporter that accepts nothing (intake closed), so the delta
+	// over `traced` is exactly the ID stamp plus the non-blocking
+	// Export call — the part a request actually waits on. The JSONL
+	// encode above is the writer goroutine's CPU, which overlaps serving
+	// on a multi-core host but serializes into `exported` here.
+	expClosed := export.New(io.Discard, 1)
+	if err := expClosed.Close(); err != nil {
+		return err
+	}
+	sendOnly := bestOf2(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Trace = xpathviews.NewTrace()
+			o.TraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+			o.Trace.SetID(o.TraceID)
+			if _, err := sys.AnswerContext(ctx, obsQuery, o); err != nil {
+				b.Fatal(err)
+			}
+			expClosed.Export(o.Trace)
+		}
+	})
+
 	pct := func(base, with testing.BenchmarkResult) float64 {
 		return 100 * (float64(with.NsPerOp()) - float64(base.NsPerOp())) / float64(base.NsPerOp())
 	}
@@ -107,8 +167,14 @@ func runObs(w io.Writer, quick bool) error {
 	fmt.Fprintf(w, "metrics off:  %v/op, %d allocs/op\n", disabled.NsPerOp(), disabled.AllocsPerOp())
 	fmt.Fprintf(w, "metrics on:   %v/op, %d allocs/op (%+.1f%%)\n",
 		enabled.NsPerOp(), enabled.AllocsPerOp(), pct(disabled, enabled))
+	fmt.Fprintf(w, "labeled:      %v/op, %d allocs/op (%+.1f%%)\n",
+		labeled.NsPerOp(), labeled.AllocsPerOp(), pct(disabled, labeled))
 	fmt.Fprintf(w, "traced:       %v/op, %d allocs/op (%+.1f%%)\n",
 		traced.NsPerOp(), traced.AllocsPerOp(), pct(disabled, traced))
+	fmt.Fprintf(w, "exported:     %v/op, %d allocs/op (%+.1f%%)\n",
+		exported.NsPerOp(), exported.AllocsPerOp(), pct(disabled, exported))
+	fmt.Fprintf(w, "export sync:  %v/op, %d allocs/op (%+.1f%% over traced)\n",
+		sendOnly.NsPerOp(), sendOnly.AllocsPerOp(), pct(traced, sendOnly))
 
 	report := map[string]any{
 		"source": "xpvbench -obs",
@@ -122,17 +188,34 @@ func runObs(w io.Writer, quick bool) error {
 			"ns_per_op": enabled.NsPerOp(), "allocs_per_op": enabled.AllocsPerOp(),
 			"bytes_per_op": enabled.AllocedBytesPerOp(),
 		},
+		"labeled": map[string]any{
+			"ns_per_op": labeled.NsPerOp(), "allocs_per_op": labeled.AllocsPerOp(),
+			"bytes_per_op": labeled.AllocedBytesPerOp(),
+		},
 		"traced": map[string]any{
 			"ns_per_op": traced.NsPerOp(), "allocs_per_op": traced.AllocsPerOp(),
 			"bytes_per_op": traced.AllocedBytesPerOp(),
 		},
-		"metrics_overhead_pct": pct(disabled, enabled),
-		"trace_overhead_pct":   pct(disabled, traced),
-		"extra_allocs_metrics": enabled.AllocsPerOp() - disabled.AllocsPerOp(),
-		"extra_allocs_traced":  traced.AllocsPerOp() - disabled.AllocsPerOp(),
-		"gomaxprocs":           runtime.GOMAXPROCS(0),
-		"note": "hot path with a warm plan cache; metrics are atomics + time.Now " +
-			"(overhead within noise), tracing allocates its span tree by design",
+		"exported": map[string]any{
+			"ns_per_op": exported.NsPerOp(), "allocs_per_op": exported.AllocsPerOp(),
+			"bytes_per_op": exported.AllocedBytesPerOp(),
+		},
+		"export_sync": map[string]any{
+			"ns_per_op": sendOnly.NsPerOp(), "allocs_per_op": sendOnly.AllocsPerOp(),
+			"bytes_per_op": sendOnly.AllocedBytesPerOp(),
+		},
+		"metrics_overhead_pct":     pct(disabled, enabled),
+		"labeled_overhead_pct":     pct(disabled, labeled),
+		"trace_overhead_pct":       pct(disabled, traced),
+		"export_overhead_pct":      pct(traced, exported),
+		"export_sync_overhead_pct": pct(traced, sendOnly),
+		"extra_allocs_metrics":     enabled.AllocsPerOp() - disabled.AllocsPerOp(),
+		"extra_allocs_labeled":     labeled.AllocsPerOp() - enabled.AllocsPerOp(),
+		"extra_allocs_traced":      traced.AllocsPerOp() - disabled.AllocsPerOp(),
+		"gomaxprocs":               runtime.GOMAXPROCS(0),
+		"note": "hot path with a warm plan cache; metrics (labeled or not) are atomics + " +
+			"time.Now, tracing allocates its span tree by design, export adds the " +
+			"trace-ID stamp and one non-blocking channel send (JSONL encode is async)",
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -45,6 +45,7 @@ func main() {
 	explainJSON := flag.Bool("explain-json", false, "like -explain, but emit JSON")
 	slowlog := flag.Duration("slowlog", 0, "arm the slow-query log at this threshold, e.g. 1ms, and print entries after the run (0 = off)")
 	metrics := flag.Bool("metrics", false, "dump the metrics text exposition after the run")
+	traceparent := flag.String("traceparent", "", `join this W3C traceparent header ("new" = start a fresh trace); the trace ID lands in latency exemplars and slow-log entries, and the propagated header is printed`)
 	var viewSrcs viewList
 	flag.Var(&viewSrcs, "view", "materialize this view (repeatable)")
 	flag.Parse()
@@ -90,6 +91,18 @@ func main() {
 		Strategy:   strat,
 		Timeout:    *timeout,
 		MaxAnswers: *maxAnswers,
+	}
+	if *traceparent != "" {
+		var traceID string
+		if tc, ok := xpathviews.ParseTraceparent(*traceparent); ok {
+			traceID = tc.TraceID
+		} else if *traceparent == "new" {
+			traceID = xpathviews.NewTraceID()
+		} else {
+			fatal(fmt.Errorf(`invalid traceparent %q (want a W3C header value or "new")`, *traceparent))
+		}
+		opts.TraceID = traceID
+		fmt.Printf("traceparent: %s\n", xpathviews.FormatTraceparent(traceID, xpathviews.NewSpanID()))
 	}
 	if *slowlog > 0 {
 		sys.SetSlowQueryThreshold(*slowlog)
@@ -163,9 +176,13 @@ func dumpObs(sys *xpathviews.System, slowlog time.Duration, metrics bool) {
 		entries := sys.SlowQueries()
 		fmt.Printf("\nslow queries (>= %v): %d\n", slowlog, len(entries))
 		for _, e := range entries {
-			fmt.Printf("  %v  %s  strategy=%s total=%v parse=%v filter=%v select=%v rewrite=%v cache_hit=%t\n",
+			fmt.Printf("  %v  %s  strategy=%s total=%v parse=%v filter=%v select=%v rewrite=%v cache_hit=%t",
 				e.Time.Format("15:04:05.000"), e.Query, e.Strategy,
 				e.Total, e.Parse, e.Filter, e.Select, e.Rewrite, e.CacheHit)
+			if e.TraceID != "" {
+				fmt.Printf(" trace_id=%s", e.TraceID)
+			}
+			fmt.Println()
 		}
 	}
 	if metrics {

@@ -14,13 +14,20 @@
 //	POST /v1/query    {"query": "...", ...} or {"queries": ["...", ...]}
 //	GET  /v1/explain  ?query=...&tenant=...&strategy=HV
 //	GET  /metrics     deterministic text exposition
+//	GET  /statusz     per-tenant SLO burn rates + p99 exemplars (?format=json, ?runtime=1)
 //	GET  /healthz     liveness (always 200 while the process runs)
 //	GET  /readyz      readiness (503 once drain begins)
+//
+// Observability: every /v1/query response carries a W3C traceparent
+// header (joining the caller's trace when one is propagated);
+// -trace-export appends each request's span tree as one JSON line to a
+// file, and -pprof serves net/http/pprof on a separate listener so
+// profiling traffic never competes with serving admission.
 //
 // On SIGTERM/SIGINT the daemon stops accepting work (readiness flips
 // first so load balancers can react), finishes every in-flight query
 // under -drain-timeout, then flushes the slow-query log and a final
-// metrics snapshot to stderr.
+// metrics snapshot to stderr and drains the trace exporter.
 package main
 
 import (
@@ -28,8 +35,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +46,7 @@ import (
 	"time"
 
 	"xpathviews/internal/server"
+	"xpathviews/internal/telemetry/export"
 	"xpathviews/internal/xmark"
 	"xpathviews/internal/xmltree"
 )
@@ -60,6 +70,10 @@ func main() {
 	slowlog := flag.Duration("slowlog", 100*time.Millisecond, "slow-query log threshold (0 = off)")
 	maxInflightTenant := flag.Int("tenant-max-inflight", 0, "default tenant's concurrent-query cap (0 = unlimited)")
 	limit := flag.Int("limit", 0, "default tenant's per-view fragment byte cap (0 = library default)")
+	traceExport := flag.String("trace-export", "", `append each request's span tree as JSONL to this file ("-" = stdout, empty = off)`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate listen address (empty = off)")
+	sloAvailability := flag.Float64("slo-availability", 0, "default availability objective, e.g. 0.99 (0 = the server default)")
+	sloLatency := flag.Duration("slo-latency", 0, "default latency threshold for the SLO watchdog, e.g. 250ms (0 = the server default)")
 	var views viewList
 	flag.Var(&views, "view", "materialize this view for the default tenant (repeatable)")
 	flag.Parse()
@@ -95,6 +109,20 @@ func main() {
 		log.Printf("tenant %q: %d views materialized", t.Name(), t.System().NumViews())
 	}
 
+	var exp *export.Exporter
+	if *traceExport != "" {
+		var w io.Writer = os.Stdout
+		if *traceExport != "-" {
+			f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("xpvserved: trace export: %v", err)
+			}
+			w = f
+		}
+		exp = export.New(w, export.DefaultQueueDepth)
+		log.Printf("xpvserved: exporting traces to %s", *traceExport)
+	}
+
 	srv, err := server.New(server.Config{
 		MaxInFlight:        *maxInflight,
 		QueueDepth:         *queueDepth,
@@ -103,9 +131,32 @@ func main() {
 		DrainTimeout:       *drainTimeout,
 		SlowQueryThreshold: *slowlog,
 		DrainLog:           os.Stderr,
+		TraceExporter:      exp,
+		SLO: server.SLOConfig{
+			Availability:     *sloAvailability,
+			LatencyThreshold: *sloLatency,
+		},
 	}, tenants)
 	if err != nil {
 		log.Fatalf("xpvserved: %v", err)
+	}
+
+	if *pprofAddr != "" {
+		// pprof rides its own mux on its own listener: profiling traffic
+		// never touches serving admission, and the endpoints stay off the
+		// public address entirely unless asked for.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("xpvserved: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("xpvserved: pprof: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -74,6 +74,16 @@ type admission struct {
 	waiting     atomic.Int64
 	draining    atomic.Bool
 
+	// forcePressured, when set by the SLO watchdog, grades every admit
+	// Pressured regardless of occupancy — sustained burn pre-emptively
+	// sheds onto the cheap rung chain.
+	forcePressured atomic.Bool
+
+	// waitEWMA smooths observed queue waits (ns) — granted and timed-out
+	// alike — and feeds the Retry-After heuristic: a congested queue
+	// tells callers to back off for longer than the nominal queue wait.
+	waitEWMA atomic.Int64
+
 	queueWaitNs *telemetry.Histogram // xpvd_queue_wait_ns (nil-safe)
 }
 
@@ -106,9 +116,30 @@ func newAdmission(capacity int, queueDepth int, queueWait time.Duration, pressur
 	}
 }
 
-// retryAfter suggests how long a shed caller should back off: one queue
-// wait, floored at a second's granularity by the HTTP header rendering.
-func (a *admission) retryAfter() time.Duration { return a.queueWait }
+// noteWait folds one observed queue wait — granted or timed out — into
+// the smoothed estimate (EWMA, α = 1/4).
+func (a *admission) noteWait(w time.Duration) {
+	for {
+		old := a.waitEWMA.Load()
+		next := old + (int64(w)-old)/4
+		if a.waitEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter suggests how long a shed caller should back off: the
+// nominal queue wait plus the smoothed wait actually being observed, so
+// the hint grows with congestion instead of lying about it. The HTTP
+// header renders at a second's granularity; the JSON body carries the
+// full value.
+func (a *admission) retryAfter() time.Duration {
+	ra := a.queueWait
+	if w := time.Duration(a.waitEWMA.Load()); w > 0 {
+		ra += w
+	}
+	return ra
+}
 
 // acquire admits one request for tenant t, blocking in the bounded queue
 // when the process is at capacity. On success it returns the release
@@ -145,18 +176,30 @@ func (a *admission) acquire(ctx context.Context, t *Tenant) (release func(), pr 
 		queued = true
 		t0 := time.Now()
 		timer := time.NewTimer(a.queueWait)
+		// The wait between enqueue and outcome is recorded on EVERY exit —
+		// grant, timeout, caller gone — so the wait histograms and the
+		// Retry-After heuristic see the congestion that shed requests
+		// experienced, not just the waits that ended happily.
+		recordWait := func() {
+			w := time.Since(t0)
+			a.noteWait(w)
+			a.queueWaitNs.Observe(int64(w))
+			t.queueWaitNs.Observe(int64(w))
+		}
 		select {
 		case a.sem <- struct{}{}:
 			timer.Stop()
 			a.waiting.Add(-1)
-			a.queueWaitNs.Observe(int64(time.Since(t0)))
+			recordWait()
 		case <-timer.C:
 			a.waiting.Add(-1)
+			recordWait()
 			releaseTenant()
 			return nil, Saturated, &ShedError{Reason: ShedQueueTimeout, Scope: "process", RetryAfter: a.retryAfter()}
 		case <-ctx.Done():
 			timer.Stop()
 			a.waiting.Add(-1)
+			recordWait()
 			releaseTenant()
 			return nil, Saturated, ctx.Err()
 		}
@@ -169,7 +212,8 @@ func (a *admission) acquire(ctx context.Context, t *Tenant) (release func(), pr 
 		return nil, Saturated, &ShedError{Reason: ShedDraining, Scope: "process", RetryAfter: a.retryAfter()}
 	}
 	pr = Healthy
-	if queued || int64(len(a.sem)) > a.pressuredAt || a.waiting.Load() > 0 {
+	if queued || int64(len(a.sem)) > a.pressuredAt || a.waiting.Load() > 0 ||
+		a.forcePressured.Load() {
 		pr = Pressured
 	}
 	return func() { <-a.sem; releaseTenant() }, pr, nil

@@ -33,6 +33,7 @@ import (
 	"xpathviews"
 	"xpathviews/internal/plancache"
 	"xpathviews/internal/telemetry"
+	"xpathviews/internal/telemetry/export"
 )
 
 // Config tunes the daemon-wide robustness envelope. Zero values pick
@@ -61,6 +62,17 @@ type Config struct {
 	// DrainLog, when non-nil, receives the drain flush: retained slow
 	// queries and a final metrics snapshot.
 	DrainLog io.Writer
+	// TraceExporter, when non-nil, receives every request's span tree
+	// (bounded queue, drop-counting — see internal/telemetry/export).
+	// The server owns it from here: Shutdown drains and closes it.
+	TraceExporter *export.Exporter
+	// SLO tunes the per-tenant burn-rate watchdog (zero value = the
+	// defaults documented on SLOConfig). Per-tenant objectives may be
+	// overridden in TenantConfig.
+	SLO SLOConfig
+	// Clock overrides time.Now for the SLO windows and /statusz uptime.
+	// Tests inject a fixed clock for deterministic output.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +106,8 @@ type serverMetrics struct {
 	drains      *telemetry.Counter // xpvd_drains_total
 	drainLastNs *telemetry.Gauge   // xpvd_drain_last_ns
 
+	sloTrips *telemetry.Counter // xpvd_slo_watchdog_trips_total
+
 	reqNs *telemetry.Histogram // xpvd_request_ns
 }
 
@@ -107,6 +121,7 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		batchQueries: reg.Counter("xpvd_batch_queries_total"),
 		drains:       reg.Counter("xpvd_drains_total"),
 		drainLastNs:  reg.Gauge("xpvd_drain_last_ns"),
+		sloTrips:     reg.Counter("xpvd_slo_watchdog_trips_total"),
 		reqNs:        reg.Histogram("xpvd_request_ns"),
 		shed:         map[string]*telemetry.Counter{},
 	}
@@ -129,6 +144,15 @@ type Server struct {
 	reg     *telemetry.Registry
 	ready   atomic.Bool
 	handler http.Handler
+
+	clock    func() time.Time
+	start    time.Time
+	exporter *export.Exporter
+	sloCfg   SLOConfig
+
+	// burningTenants counts tenants whose SLO watchdog currently burns;
+	// any > 0 forces Pressured grading at admission.
+	burningTenants atomic.Int64
 }
 
 // New assembles a server over the given tenants. Tenant names must be
@@ -144,27 +168,58 @@ func New(cfg Config, tenants []*Tenant) (*Server, error) {
 	if reg == nil {
 		reg = xpathviews.DefaultMetricsRegistry()
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	s := &Server{
-		cfg:     cfg,
-		adm:     newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.QueueWait, cfg.PressuredFrac),
-		tenants: make(map[string]*Tenant, len(tenants)),
-		met:     newServerMetrics(reg),
-		reg:     reg,
+		cfg:      cfg,
+		adm:      newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.QueueWait, cfg.PressuredFrac),
+		tenants:  make(map[string]*Tenant, len(tenants)),
+		met:      newServerMetrics(reg),
+		reg:      reg,
+		clock:    clock,
+		start:    clock(),
+		exporter: cfg.TraceExporter,
+		sloCfg:   cfg.SLO.withDefaults(),
 	}
 	s.adm.queueWaitNs = reg.Histogram("xpvd_queue_wait_ns")
+	tenantQueueWait := reg.HistogramVec("xpvd_queue_wait_ns", "tenant")
+	tenantReqNs := reg.HistogramVec("xpvd_tenant_request_ns", "tenant")
 	for _, t := range tenants {
 		if _, dup := s.tenants[t.cfg.Name]; dup {
 			return nil, fmt.Errorf("server: duplicate tenant %q", t.cfg.Name)
 		}
 		s.tenants[t.cfg.Name] = t
-		t.sys.SetMetricsRegistry(reg)
+		// Every xpv_* metric the tenant's private System records is
+		// labeled with the tenant, so the shared exposition is sliceable
+		// by who caused what.
+		t.sys.SetMetricsTenant(reg, t.cfg.Name)
 		if cfg.SlowQueryThreshold > 0 {
 			t.sys.SetSlowQueryThreshold(cfg.SlowQueryThreshold)
 		}
 		t.reqs = reg.Counter(fmt.Sprintf("xpvd_tenant_requests_total{tenant=%q}", t.cfg.Name))
 		t.shed = reg.Counter(fmt.Sprintf("xpvd_tenant_shed_total{tenant=%q}", t.cfg.Name))
+		t.shedBy = reg.CounterVec(telemetry.WithLabel("xpvd_shed_total", "tenant", t.cfg.Name), "reason")
+		t.queueWaitNs = tenantQueueWait.With(t.cfg.Name)
+		t.reqNs = tenantReqNs.With(t.cfg.Name)
+		sloCfg := s.sloCfg
+		if t.cfg.SLOAvailability > 0 {
+			sloCfg.Availability = t.cfg.SLOAvailability
+		}
+		if t.cfg.SLOLatencyMS > 0 {
+			sloCfg.LatencyThreshold = time.Duration(t.cfg.SLOLatencyMS) * time.Millisecond
+		}
+		t.slo = newSLOTracker(sloCfg, clock)
 		tt := t
 		reg.GaugeFunc(fmt.Sprintf("xpvd_tenant_inflight{tenant=%q}", t.cfg.Name), tt.InFlight)
+		reg.GaugeFunc(fmt.Sprintf("xpvd_tenant_slo_burning{tenant=%q}", t.cfg.Name),
+			func() int64 {
+				if tt.burning.Load() {
+					return 1
+				}
+				return 0
+			})
 		reg.GaugeFunc(fmt.Sprintf("xpvd_tenant_views{tenant=%q}", t.cfg.Name),
 			func() int64 { return int64(tt.sys.NumViews()) })
 		reg.GaugeFunc(fmt.Sprintf("xpvd_tenant_view_bytes{tenant=%q}", t.cfg.Name),
@@ -186,6 +241,18 @@ func New(cfg Config, tenants []*Tenant) (*Server, error) {
 		}
 		return 0
 	})
+	reg.GaugeFunc("xpvd_slo_burning_tenants", s.burningTenants.Load)
+	reg.GaugeFunc("xpvd_pressure_forced", func() int64 {
+		if s.adm.forcePressured.Load() {
+			return 1
+		}
+		return 0
+	})
+	if s.exporter != nil {
+		reg.GaugeFunc("xpvd_trace_exported_total", s.exporter.Exported)
+		reg.GaugeFunc("xpvd_trace_dropped_total", s.exporter.Dropped)
+		reg.GaugeFunc("xpvd_trace_queue_len", s.exporter.QueueLen)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -193,6 +260,7 @@ func New(cfg Config, tenants []*Tenant) (*Server, error) {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.handler = mux
 	s.ready.Store(true)
 	return s, nil
@@ -247,6 +315,7 @@ type queryRequest struct {
 // whole body for a single query).
 type queryResponse struct {
 	Query           string   `json:"query"`
+	TraceID         string   `json:"trace_id,omitempty"`
 	Status          int      `json:"status"`
 	Rung            string   `json:"rung,omitempty"`
 	Pressure        string   `json:"pressure"`
@@ -263,6 +332,7 @@ type queryResponse struct {
 
 type batchResponse struct {
 	Tenant  string          `json:"tenant"`
+	TraceID string          `json:"trace_id,omitempty"`
 	Results []queryResponse `json:"results"`
 }
 
@@ -271,12 +341,43 @@ type errorResponse struct {
 	RetryAfter int64  `json:"retry_after_ms,omitempty"`
 }
 
+// traceFor joins or starts the request's W3C trace context: a valid
+// incoming traceparent header is continued (same trace ID, new span),
+// anything else gets a fresh ID. The response always carries a
+// traceparent header so callers can find the exported span tree.
+func (s *Server) traceFor(w http.ResponseWriter, r *http.Request) (traceID string, tr *telemetry.Trace) {
+	if tc, ok := telemetry.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		traceID = tc.TraceID
+	} else {
+		traceID = telemetry.NewTraceID()
+	}
+	w.Header().Set("Traceparent", telemetry.FormatTraceparent(traceID, telemetry.NewSpanID()))
+	if s.exporter != nil {
+		tr = telemetry.NewTrace("query")
+		tr.SetID(traceID)
+	}
+	return traceID, tr
+}
+
+// exportTrace closes the root span and hands the tree to the exporter
+// (non-blocking; a full queue counts a drop).
+func (s *Server) exportTrace(tr *telemetry.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Root().End()
+	s.exporter.Export(tr)
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	s.met.requests.Inc()
+	traceID, tr := s.traceFor(w, r)
+	defer s.exportTrace(tr)
 	var req queryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
+		tr.Root().Err(err)
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -291,18 +392,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t.reqs.Inc()
+	tr.Root().SetAttr("tenant", t.cfg.Name)
 
 	release, pr, err := s.adm.acquire(r.Context(), t)
 	if err != nil {
-		s.shedResponse(w, err)
+		tr.Root().Err(err)
+		s.shedResponse(w, t, err)
 		return
 	}
 	defer release()
-	defer func() { s.met.reqNs.Observe(int64(time.Since(t0))) }()
+	tr.Root().SetAttr("pressure", pr.String())
 
 	opts := optionsFor(t, pr, req.MaxAnswers, time.Duration(req.TimeoutMS)*time.Millisecond)
+	opts.Trace = tr
+	opts.TraceID = traceID
 	if req.Query != "" {
 		qr := s.answerOne(r.Context(), t, req.Query, req.Strategy, pr, opts, req.IncludeXML)
+		qr.TraceID = traceID
+		if qr.Coalesced {
+			tr.Root().SetAttr("coalesced", true)
+		}
+		el := time.Since(t0)
+		s.met.reqNs.Observe(int64(el))
+		t.reqNs.ObserveExemplar(int64(el), traceID)
+		s.recordSLO(t, qr.Status >= 500, el)
 		s.countResponse(qr.Status)
 		writeJSON(w, qr.Status, qr)
 		return
@@ -310,13 +423,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Batch: the whole batch runs under one admission slot (one client,
 	// one unit of concurrency) — items run sequentially and coalesce with
 	// other clients' identical in-flight queries through the singleflight.
-	out := batchResponse{Tenant: t.cfg.Name, Results: make([]queryResponse, 0, len(req.Queries))}
+	out := batchResponse{Tenant: t.cfg.Name, TraceID: traceID,
+		Results: make([]queryResponse, 0, len(req.Queries))}
+	failed := false
 	for _, q := range req.Queries {
 		s.met.batchQueries.Inc()
-		out.Results = append(out.Results, s.answerOne(r.Context(), t, q, req.Strategy, pr, opts, req.IncludeXML))
+		qr := s.answerOne(r.Context(), t, q, req.Strategy, pr, opts, req.IncludeXML)
+		failed = failed || qr.Status >= 500
+		out.Results = append(out.Results, qr)
 	}
+	el := time.Since(t0)
+	s.met.reqNs.Observe(int64(el))
+	t.reqNs.ObserveExemplar(int64(el), traceID)
+	s.recordSLO(t, failed, el)
 	s.countResponse(http.StatusOK)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// recordSLO folds one request outcome into the tenant's burn-rate
+// watchdog and edge-detects verdict flips: the first burning tenant
+// forces Pressured grading at admission (pre-emptive shedding), the
+// last recovery releases it.
+func (s *Server) recordSLO(t *Tenant, availErr bool, latency time.Duration) {
+	st := t.slo.Record(availErr, latency)
+	if t.burning.Swap(st.Burning) == st.Burning {
+		return
+	}
+	var n int64
+	if st.Burning {
+		n = s.burningTenants.Add(1)
+		s.met.sloTrips.Inc()
+	} else {
+		n = s.burningTenants.Add(-1)
+	}
+	s.adm.forcePressured.Store(n > 0)
 }
 
 // coalesceKey keys the answer-level singleflight: same tenant, same
@@ -427,15 +567,21 @@ func statusForError(err error) int {
 
 // shedResponse renders an admission rejection: 429 for tenant-scoped
 // quota, 503 for process saturation or drain, both with Retry-After.
-func (s *Server) shedResponse(w http.ResponseWriter, err error) {
+// The shed is charged to the tenant's reason-labeled counter and SLO:
+// process-scope sheds are availability misses the tenant did not cause;
+// a tenant tripping its own quota is not.
+func (s *Server) shedResponse(w http.ResponseWriter, t *Tenant, err error) {
 	var shed *ShedError
 	if !errors.As(err, &shed) {
-		// The caller's context died while queued.
+		// The caller's context died while queued — not a server failure.
+		s.recordSLO(t, false, -1)
 		s.countResponse(http.StatusServiceUnavailable)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return
 	}
 	s.met.shed[shed.Reason].Inc()
+	t.shedBy.With(shed.Reason).Inc()
+	s.recordSLO(t, shed.Scope == "process", -1)
 	status := http.StatusServiceUnavailable
 	if shed.Scope == "tenant" {
 		status = http.StatusTooManyRequests
@@ -501,7 +647,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// debugging stampede cannot starve serving.
 	release, pr, err := s.adm.acquire(r.Context(), t)
 	if err != nil {
-		s.shedResponse(w, err)
+		s.shedResponse(w, t, err)
 		return
 	}
 	defer release()
@@ -582,6 +728,13 @@ func (s *Server) Shutdown(ctx context.Context, hs *http.Server) error {
 	}
 	s.met.drainLastNs.Set(int64(time.Since(t0)))
 	s.flushDrainLog(err)
+	// The exporter drains last so every span from in-flight requests
+	// reaches the sink before it closes.
+	if s.exporter != nil {
+		if cerr := s.exporter.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 

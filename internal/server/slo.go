@@ -1,0 +1,222 @@
+package server
+
+// SLO watchdog: a rolling multi-window burn-rate tracker per tenant.
+//
+// Two objectives are tracked against every tenant's traffic:
+//
+//   - availability: the fraction of requests that do not fail
+//     server-side (5xx responses and process-scope sheds are misses;
+//     a tenant tripping its own 429 quota is not);
+//   - latency: the fraction of *served* requests finishing under the
+//     tenant's latency threshold.
+//
+// For each objective the tracker maintains error rates over a short
+// and a long window (per-second ring buckets) and reports them as burn
+// rates: observed miss rate divided by the objective's error budget
+// (1 - objective). Burn 1.0 = exactly spending the budget; burn N =
+// exhausting it N times too fast. The watchdog trips only when BOTH
+// windows burn past the threshold — the long window proves the burn is
+// sustained, the short window proves it is still happening — the
+// standard multi-window, multi-burn-rate alerting shape. A tripped
+// tenant flips the admission controller to Pressured grading
+// (forcePressured), so sustained burn pre-emptively sheds load onto
+// the cheap rung chain before saturation does it the hard way.
+//
+// The clock is injected so tests (and the /statusz golden) are
+// deterministic.
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOConfig tunes the per-tenant burn-rate watchdog. Zero values pick
+// the defaults noted per field.
+type SLOConfig struct {
+	// Availability is the availability objective (default 0.99: at most
+	// 1% of requests may fail server-side).
+	Availability float64
+	// LatencyObjective is the fraction of served requests that must
+	// finish under LatencyThreshold (default 0.95).
+	LatencyObjective float64
+	// LatencyThreshold bounds a "fast" request (default 250ms).
+	LatencyThreshold time.Duration
+	// ShortWindow and LongWindow are the two burn windows (defaults 1m
+	// and 5m). LongWindow also sizes the per-second ring.
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	// BurnThreshold is the burn rate both windows must exceed for the
+	// watchdog to trip (default 2.0).
+	BurnThreshold float64
+	// MinSamples is the minimum short-window request count before the
+	// watchdog may trip, so a single early failure cannot flip an idle
+	// tenant (default 10).
+	MinSamples int64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Availability <= 0 || c.Availability >= 1 {
+		c.Availability = 0.99
+	}
+	if c.LatencyObjective <= 0 || c.LatencyObjective >= 1 {
+		c.LatencyObjective = 0.95
+	}
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = 250 * time.Millisecond
+	}
+	if c.ShortWindow <= 0 {
+		c.ShortWindow = time.Minute
+	}
+	if c.LongWindow <= c.ShortWindow {
+		c.LongWindow = 5 * time.Minute
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 2.0
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	return c
+}
+
+// sloBucket is one second of outcomes.
+type sloBucket struct {
+	sec      int64 // unix second this bucket covers
+	total    int64 // admitted-or-shed requests
+	errs     int64 // availability misses (5xx, process sheds)
+	latTotal int64 // served requests with a measured latency
+	latSlow  int64 // served requests over the latency threshold
+}
+
+// SLOStatus is one tracker's point-in-time verdict.
+type SLOStatus struct {
+	// Requests is the long-window request count.
+	Requests int64 `json:"requests"`
+	// Burn rates per objective and window (0 when the window is empty).
+	AvailabilityShortBurn float64 `json:"availability_short_burn"`
+	AvailabilityLongBurn  float64 `json:"availability_long_burn"`
+	LatencyShortBurn      float64 `json:"latency_short_burn"`
+	LatencyLongBurn       float64 `json:"latency_long_burn"`
+	// Burning reports the watchdog verdict: some objective burns past
+	// the threshold on both windows, with enough short-window samples.
+	Burning bool `json:"burning"`
+}
+
+// sloTracker is one tenant's (or the process's) rolling window state.
+type sloTracker struct {
+	cfg   SLOConfig
+	clock func() time.Time
+
+	mu      sync.Mutex
+	buckets []sloBucket // ring of LongWindow seconds, indexed by sec % len
+}
+
+func newSLOTracker(cfg SLOConfig, clock func() time.Time) *sloTracker {
+	cfg = cfg.withDefaults()
+	if clock == nil {
+		clock = time.Now
+	}
+	return &sloTracker{
+		cfg:     cfg,
+		clock:   clock,
+		buckets: make([]sloBucket, int(cfg.LongWindow/time.Second)),
+	}
+}
+
+// bucketFor returns the live bucket for sec, recycling a stale slot.
+// Caller holds mu.
+func (t *sloTracker) bucketFor(sec int64) *sloBucket {
+	b := &t.buckets[sec%int64(len(t.buckets))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	return b
+}
+
+// Record notes one request outcome and returns the refreshed verdict.
+// availErr marks an availability miss; latency is the served latency
+// (negative = not served, e.g. a shed — excluded from the latency
+// objective's denominator).
+func (t *sloTracker) Record(availErr bool, latency time.Duration) SLOStatus {
+	if t == nil {
+		return SLOStatus{}
+	}
+	now := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.bucketFor(now.Unix())
+	b.total++
+	if availErr {
+		b.errs++
+	}
+	if latency >= 0 {
+		b.latTotal++
+		if latency > t.cfg.LatencyThreshold {
+			b.latSlow++
+		}
+	}
+	return t.statusLocked(now)
+}
+
+// Config returns the tracker's resolved (defaulted, per-tenant
+// overridden) configuration.
+func (t *sloTracker) Config() SLOConfig {
+	if t == nil {
+		return SLOConfig{}.withDefaults()
+	}
+	return t.cfg
+}
+
+// Status returns the current verdict without recording anything.
+func (t *sloTracker) Status() SLOStatus {
+	if t == nil {
+		return SLOStatus{}
+	}
+	now := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.statusLocked(now)
+}
+
+// statusLocked scans the ring once, accumulating both windows.
+func (t *sloTracker) statusLocked(now time.Time) SLOStatus {
+	sec := now.Unix()
+	shortFrom := sec - int64(t.cfg.ShortWindow/time.Second) + 1
+	longFrom := sec - int64(len(t.buckets)) + 1
+	var short, long sloBucket
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		if b.sec < longFrom || b.sec > sec || b.total+b.latTotal == 0 {
+			continue
+		}
+		long.total += b.total
+		long.errs += b.errs
+		long.latTotal += b.latTotal
+		long.latSlow += b.latSlow
+		if b.sec >= shortFrom {
+			short.total += b.total
+			short.errs += b.errs
+			short.latTotal += b.latTotal
+			short.latSlow += b.latSlow
+		}
+	}
+	burn := func(bad, total int64, objective float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return (float64(bad) / float64(total)) / (1 - objective)
+	}
+	st := SLOStatus{
+		Requests:              long.total,
+		AvailabilityShortBurn: burn(short.errs, short.total, t.cfg.Availability),
+		AvailabilityLongBurn:  burn(long.errs, long.total, t.cfg.Availability),
+		LatencyShortBurn:      burn(short.latSlow, short.latTotal, t.cfg.LatencyObjective),
+		LatencyLongBurn:       burn(long.latSlow, long.latTotal, t.cfg.LatencyObjective),
+	}
+	if short.total >= t.cfg.MinSamples || short.latTotal >= t.cfg.MinSamples {
+		th := t.cfg.BurnThreshold
+		st.Burning = (st.AvailabilityShortBurn >= th && st.AvailabilityLongBurn >= th) ||
+			(st.LatencyShortBurn >= th && st.LatencyLongBurn >= th)
+	}
+	return st
+}

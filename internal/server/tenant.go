@@ -49,6 +49,14 @@ type TenantConfig struct {
 	// TimeoutMS bounds each call with a deadline, in milliseconds
 	// (0 = none). A request's own timeout_ms may only shorten it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// SLOAvailability overrides the server's availability objective for
+	// this tenant, e.g. 0.999 (0 = the server default, see
+	// Config.SLO.Availability).
+	SLOAvailability float64 `json:"slo_availability,omitempty"`
+	// SLOLatencyMS overrides the latency threshold (ms) a served request
+	// must beat to count toward the latency objective (0 = the server
+	// default).
+	SLOLatencyMS int64 `json:"slo_latency_ms,omitempty"`
 }
 
 // timeout returns the configured per-call deadline as a duration.
@@ -65,9 +73,20 @@ type Tenant struct {
 	inflight atomic.Int64
 
 	// Pre-resolved per-tenant instruments (nil-safe when metrics off).
-	reqs *telemetry.Counter // xpvd_tenant_requests_total{tenant=...}
-	shed *telemetry.Counter // xpvd_tenant_shed_total{tenant=...}
+	reqs        *telemetry.Counter    // xpvd_tenant_requests_total{tenant=...}
+	shed        *telemetry.Counter    // xpvd_tenant_shed_total{tenant=...}
+	shedBy      *telemetry.CounterVec // xpvd_shed_total{tenant=...} × reason
+	queueWaitNs *telemetry.Histogram  // xpvd_queue_wait_ns{tenant=...}
+	reqNs       *telemetry.Histogram  // xpvd_tenant_request_ns{tenant=...} (exemplared)
+
+	// slo is the tenant's burn-rate watchdog (see slo.go); burning
+	// mirrors its last verdict so state flips are edge-detected.
+	slo     *sloTracker
+	burning atomic.Bool
 }
+
+// SLOStatus returns the tenant's current burn-rate verdict.
+func (t *Tenant) SLOStatus() SLOStatus { return t.slo.Status() }
 
 // NewTenant builds a tenant over doc: a fresh System (own view registry,
 // own plan cache) with the configured views materialized under the

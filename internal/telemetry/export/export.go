@@ -1,0 +1,166 @@
+// Package export is the bounded asynchronous trace exporter: finished
+// span trees are handed off on a fixed-capacity channel and written as
+// JSONL (one {"trace_id", "root"} object per line) by a single
+// background goroutine.
+//
+// Backpressure policy: the serving path NEVER blocks on the sink. When
+// the queue is full — a slow disk, a wedged pipe — Export drops the
+// trace and counts it; memory stays bounded by the queue capacity.
+// Dropping is the correct failure mode for diagnostics: a trace is a
+// sample, a stalled request is an outage.
+package export
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"xpathviews/internal/telemetry"
+)
+
+// DefaultQueueDepth bounds the export queue when the caller passes a
+// non-positive depth.
+const DefaultQueueDepth = 256
+
+// Exporter drains traces to a JSONL sink. Build with New; stop with
+// Close. A nil *Exporter is a no-op (Export reports false).
+type Exporter struct {
+	ch     chan *telemetry.Trace
+	done   chan struct{}
+	w      *bufio.Writer
+	c      io.Closer   // non-nil when the sink should be closed with us
+	closed atomic.Bool // intake shut; the channel itself is never closed
+
+	exported  atomic.Int64
+	dropped   atomic.Int64
+	writeErrs atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New starts an exporter writing to w with the given queue depth
+// (non-positive picks DefaultQueueDepth). If w is also an io.Closer it
+// is closed by Close.
+func New(w io.Writer, queueDepth int) *Exporter {
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	e := &Exporter{
+		ch:   make(chan *telemetry.Trace, queueDepth),
+		done: make(chan struct{}),
+		w:    bufio.NewWriter(w),
+	}
+	if c, ok := w.(io.Closer); ok {
+		e.c = c
+	}
+	go e.run()
+	return e
+}
+
+// run is the single writer goroutine: encode, write, flush on drain. A
+// nil trace is the close sentinel — everything enqueued before it has
+// been written by the time run exits.
+func (e *Exporter) run() {
+	defer close(e.done)
+	for t := range e.ch {
+		if t == nil {
+			break
+		}
+		line, err := t.ExportJSON()
+		if err != nil {
+			e.writeErrs.Add(1)
+			continue
+		}
+		line = append(line, '\n')
+		if _, err := e.w.Write(line); err != nil {
+			e.writeErrs.Add(1)
+			continue
+		}
+		e.exported.Add(1)
+		// Flush whenever the queue is empty so a tail -f on the sink sees
+		// traces promptly without paying a syscall per trace under load.
+		if len(e.ch) == 0 {
+			if err := e.w.Flush(); err != nil {
+				e.writeErrs.Add(1)
+			}
+		}
+	}
+	if err := e.w.Flush(); err != nil {
+		e.writeErrs.Add(1)
+	}
+}
+
+// Export enqueues one trace without blocking. It reports false (and
+// counts a drop) when the queue is full or the exporter is nil/closed.
+func (e *Exporter) Export(t *telemetry.Trace) bool {
+	if e == nil || t == nil {
+		return false
+	}
+	if e.closed.Load() {
+		e.dropped.Add(1)
+		return false
+	}
+	select {
+	case e.ch <- t:
+		return true
+	default:
+		e.dropped.Add(1)
+		return false
+	}
+}
+
+// Close stops intake, drains the queue, flushes, and closes a closable
+// sink. Idempotent; Export after Close drops.
+func (e *Exporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		e.ch <- nil // sentinel: run drains everything enqueued before it
+		<-e.done
+		if e.c != nil {
+			e.closeErr = e.c.Close()
+		}
+		if e.closeErr == nil && e.writeErrs.Load() > 0 {
+			e.closeErr = errors.New("export: sink write errors (see WriteErrors)")
+		}
+	})
+	return e.closeErr
+}
+
+// Exported returns how many traces were written to the sink.
+func (e *Exporter) Exported() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.exported.Load()
+}
+
+// Dropped returns how many traces were discarded because the queue was
+// full (or the exporter closed).
+func (e *Exporter) Dropped() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.dropped.Load()
+}
+
+// WriteErrors returns how many traces failed to encode or write.
+func (e *Exporter) WriteErrors() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.writeErrs.Load()
+}
+
+// QueueLen returns the current queue occupancy (for gauges).
+func (e *Exporter) QueueLen() int64 {
+	if e == nil {
+		return 0
+	}
+	return int64(len(e.ch))
+}

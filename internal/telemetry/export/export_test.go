@@ -1,0 +1,125 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"xpathviews/internal/telemetry"
+)
+
+func mkTrace(id string) *telemetry.Trace {
+	tr := telemetry.NewTrace("query")
+	tr.SetID(id)
+	sp := tr.Root().Child("plan")
+	sp.SetAttr("cache", "hit")
+	sp.End()
+	tr.Root().End()
+	return tr
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := New(&buf, 8)
+	if !e.Export(mkTrace("aaaa")) || !e.Export(mkTrace("bbbb")) {
+		t.Fatal("Export rejected with a free queue")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	var got struct {
+		TraceID string `json:"trace_id"`
+		Root    struct {
+			Name     string            `json:"name"`
+			Children []json.RawMessage `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if got.TraceID != "aaaa" || got.Root.Name != "query" || len(got.Root.Children) != 1 {
+		t.Fatalf("line 0 = %+v", got)
+	}
+	if e.Exported() != 2 || e.Dropped() != 0 {
+		t.Fatalf("exported=%d dropped=%d", e.Exported(), e.Dropped())
+	}
+	// Idempotent close; export after close drops.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Export(mkTrace("cccc")) || e.Dropped() != 1 {
+		t.Fatal("Export after Close must drop")
+	}
+}
+
+func TestNilExporter(t *testing.T) {
+	var e *Exporter
+	if e.Export(mkTrace("x")) {
+		t.Fatal("nil exporter must report false")
+	}
+	if e.Close() != nil || e.Exported() != 0 || e.Dropped() != 0 || e.QueueLen() != 0 {
+		t.Fatal("nil exporter accessors must be inert")
+	}
+}
+
+// gatedWriter blocks every Write until the gate opens — a wedged sink.
+type gatedWriter struct {
+	gate chan struct{}
+	buf  bytes.Buffer
+}
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	<-g.gate
+	return g.buf.Write(p)
+}
+
+// TestExportBackpressure wedges the sink and floods the queue: Export
+// must stay non-blocking, memory must stay bounded by the queue depth
+// (excess traces are dropped and counted), and once the sink recovers
+// everything accepted must reach it.
+func TestExportBackpressure(t *testing.T) {
+	const depth, total = 4, 40
+	gw := &gatedWriter{gate: make(chan struct{})}
+	e := New(gw, depth)
+
+	start := time.Now()
+	accepted := 0
+	for i := 0; i < total; i++ {
+		if e.Export(mkTrace("t")) {
+			accepted++
+		}
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("Export stalled on a wedged sink: %v for %d calls", el, total)
+	}
+	// The queue (plus the one trace the writer goroutine may hold, plus
+	// whatever it buffered before the first flush blocked) bounds
+	// acceptance; the rest must be counted as drops, not queued.
+	if accepted == total {
+		t.Fatalf("all %d traces accepted; the queue is not bounded", total)
+	}
+	if got := e.Dropped(); got != int64(total-accepted) {
+		t.Fatalf("dropped = %d, want %d", got, total-accepted)
+	}
+	if got := e.QueueLen(); got > depth {
+		t.Fatalf("queue len = %d, want <= %d", got, depth)
+	}
+
+	close(gw.gate) // sink recovers
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Exported(); got != int64(accepted) {
+		t.Fatalf("exported = %d, want %d (accepted)", got, accepted)
+	}
+	lines := strings.Split(strings.TrimSpace(gw.buf.String()), "\n")
+	if len(lines) != accepted {
+		t.Fatalf("sink lines = %d, want %d", len(lines), accepted)
+	}
+}

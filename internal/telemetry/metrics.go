@@ -95,11 +95,36 @@ const (
 // Histogram is a fixed-bucket latency histogram over nanosecond
 // observations. Recording is one atomic add plus two bookkeeping adds;
 // there is no lock and no allocation. A nil *Histogram is a no-op.
+//
+// Each bucket can additionally hold one trace-ID exemplar (see
+// ObserveExemplar): a concrete observation linking the bucket to an
+// exported trace, so a p99 spike resolves to a real request.
 type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64
+
+	// exemplars[i] is bucket i's retained exemplar; exSeen[i] is the
+	// per-bucket ordinal driving the sampling rule.
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+	exSeen    [histBuckets]atomic.Int64
 }
+
+// Exemplar links one histogram observation to the trace that produced
+// it.
+type Exemplar struct {
+	// TraceID is the W3C trace ID of the request whose latency landed
+	// in the bucket.
+	TraceID string `json:"trace_id"`
+	// ValueNs is the observed value.
+	ValueNs int64 `json:"value_ns"`
+}
+
+// exemplarEvery is the steady-state exemplar sampling stride: a
+// bucket's first observation is always retained, then every
+// exemplarEvery-th replaces it, keeping exemplars fresh on hot buckets
+// without allocating per observation.
+const exemplarEvery = 64
 
 // bucketIndex maps a nanosecond value onto its bucket.
 func bucketIndex(ns int64) int {
@@ -137,6 +162,71 @@ func (h *Histogram) Observe(ns int64) {
 	h.buckets[bucketIndex(ns)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(ns)
+}
+
+// ObserveExemplar records one duration and, when traceID is non-empty,
+// considers it as the owning bucket's exemplar under the sampling rule
+// (first observation, then every exemplarEvery-th). The metric path is
+// identical to Observe; only a sampled-in exemplar allocates.
+func (h *Histogram) ObserveExemplar(ns int64, traceID string) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	i := bucketIndex(ns)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	if traceID == "" {
+		return
+	}
+	if n := h.exSeen[i].Add(1); n == 1 || n%exemplarEvery == 0 {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, ValueNs: ns})
+	}
+}
+
+// BucketExemplar is one bucket's retained exemplar with the bucket's
+// upper bound and current count.
+type BucketExemplar struct {
+	BoundNs  int64    `json:"bound_ns"`
+	Count    int64    `json:"count"`
+	Exemplar Exemplar `json:"exemplar"`
+}
+
+// Exemplars returns the retained exemplars of every bucket that has
+// one, in ascending bucket order. The last entry is the histogram's
+// current tail (slowest) exemplar — the one a p99 investigation wants.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	if h == nil {
+		return nil
+	}
+	var out []BucketExemplar
+	for i := 0; i < histBuckets; i++ {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, BucketExemplar{
+				BoundNs:  bucketBound(i),
+				Count:    h.buckets[i].Load(),
+				Exemplar: *e,
+			})
+		}
+	}
+	return out
+}
+
+// TailExemplar returns the exemplar of the highest populated bucket
+// (the slowest retained observation), or a zero Exemplar and false.
+func (h *Histogram) TailExemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	for i := histBuckets - 1; i >= 0; i-- {
+		if e := h.exemplars[i].Load(); e != nil {
+			return *e, true
+		}
+	}
+	return Exemplar{}, false
 }
 
 // HistSnapshot is a point-in-time read of a histogram. Percentiles are
@@ -212,6 +302,12 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	hists      map[string]*Histogram
 	gaugeFuncs map[string]func() int64
+
+	// Labeled families (see labels.go); allocated lazily so the zero
+	// maps cost nothing for registries that never use labels.
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry builds an empty registry.
@@ -305,6 +401,8 @@ func (r *Registry) Reset() {
 	for _, h := range r.hists {
 		for i := range h.buckets {
 			h.buckets[i].Store(0)
+			h.exemplars[i].Store(nil)
+			h.exSeen[i].Store(0)
 		}
 		h.count.Store(0)
 		h.sum.Store(0)

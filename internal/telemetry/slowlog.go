@@ -21,6 +21,12 @@ type SlowQuery struct {
 	// Query is the query's source text (or the minimized pattern's
 	// rendering when the call was pattern-based).
 	Query string `json:"query"`
+	// Tenant names the tenant whose system served the call ("" for
+	// unlabeled library use). Stamped by the ring's label (SetLabel).
+	Tenant string `json:"tenant,omitempty"`
+	// TraceID is the W3C trace ID the call ran under ("" when the
+	// request carried none), joining the entry to an exported trace.
+	TraceID string `json:"trace_id,omitempty"`
 	// Strategy names the answering strategy; Rung is set for resilient
 	// calls.
 	Strategy string `json:"strategy"`
@@ -43,6 +49,7 @@ type SlowQuery struct {
 type SlowLog struct {
 	threshold atomic.Int64 // ns; 0 = disabled
 	logged    atomic.Int64 // total entries ever recorded
+	label     atomic.Value // string: tenant stamped on every entry
 
 	mu   sync.Mutex
 	buf  []SlowQuery
@@ -82,11 +89,36 @@ func (l *SlowLog) Threshold() time.Duration {
 	return time.Duration(l.threshold.Load())
 }
 
+// SetLabel stamps every subsequently recorded entry with a tenant name
+// (entries that already carry one keep it).
+func (l *SlowLog) SetLabel(tenant string) {
+	if l == nil {
+		return
+	}
+	l.label.Store(tenant)
+}
+
+// Label returns the ring's tenant stamp ("" when unset).
+func (l *SlowLog) Label() string {
+	if l == nil {
+		return ""
+	}
+	if v, ok := l.label.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
 // Record appends one entry, overwriting the oldest when full. Callers
 // check Threshold first; Record itself does not filter.
 func (l *SlowLog) Record(e SlowQuery) {
 	if l == nil {
 		return
+	}
+	if e.Tenant == "" {
+		if v, ok := l.label.Load().(string); ok {
+			e.Tenant = v
+		}
 	}
 	l.logged.Add(1)
 	l.mu.Lock()

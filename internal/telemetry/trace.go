@@ -37,7 +37,30 @@ type Event struct {
 // diagnostic path, not a throughput path).
 type Trace struct {
 	mu   sync.Mutex
+	id   string // W3C trace ID (32 lowercase hex); "" = unpropagated
 	root *Span
+}
+
+// SetID attaches a W3C trace ID (see tracecontext.go). The ID travels
+// with the exported span tree and joins the trace to metrics exemplars
+// and slow-log entries.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// ID returns the attached trace ID ("" for nil or unpropagated traces).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
 }
 
 // NewTrace starts a trace whose root span has the given name.
@@ -316,4 +339,22 @@ func (t *Trace) JSON() ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return json.MarshalIndent(spanToJSON(t.root), "", "  ")
+}
+
+// exportJSON is the one-line export shape: the trace ID plus the span
+// tree, compact, for JSONL sinks.
+type exportJSON struct {
+	TraceID string   `json:"trace_id,omitempty"`
+	Root    spanJSON `json:"root"`
+}
+
+// ExportJSON renders the trace as one compact JSON object carrying the
+// trace ID — the JSONL exporter's line format.
+func (t *Trace) ExportJSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return json.Marshal(exportJSON{TraceID: t.id, Root: spanToJSON(t.root)})
 }

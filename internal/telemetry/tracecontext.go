@@ -1,0 +1,108 @@
+package telemetry
+
+// W3C Trace Context (traceparent) support: parsing and rendering the
+// `traceparent` header so the daemon joins externally-initiated traces
+// and stamps its own IDs on unpropagated requests.
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// ID generation uses crypto/rand with an atomic-counter fallback, so
+// IDs stay unique even if the entropy source fails.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// TraceContext is one parsed traceparent header.
+type TraceContext struct {
+	// TraceID is the 32-lowercase-hex trace identifier.
+	TraceID string
+	// ParentID is the 16-lowercase-hex id of the caller's span.
+	ParentID string
+	// Sampled reports the sampled flag (flags & 0x01).
+	Sampled bool
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// version 00 (and unknown future versions with the 00 layout), rejects
+// malformed lengths, non-hex digits and all-zero IDs.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	var tc TraceContext
+	// version(2) - traceid(32) - parentid(16) - flags(2) = 55 bytes.
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, false
+	}
+	ver, traceID, parentID, flags := s[0:2], s[3:35], s[36:52], s[53:55]
+	if !isHexLower(ver) || !isHexLower(traceID) || !isHexLower(parentID) || !isHexLower(flags) {
+		return tc, false
+	}
+	if ver == "ff" || allZero(traceID) || allZero(parentID) {
+		return tc, false
+	}
+	tc.TraceID = traceID
+	tc.ParentID = parentID
+	tc.Sampled = flags[1] == '1' || flags[1] == '3' || flags[1] == '5' || flags[1] == '7' ||
+		flags[1] == '9' || flags[1] == 'b' || flags[1] == 'd' || flags[1] == 'f'
+	return tc, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// sampled flag set.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// isHexLower reports that s is entirely lowercase hex digits.
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// allZero reports that s is entirely '0'.
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// idFallback distinguishes generated IDs when the entropy source fails.
+var idFallback atomic.Uint64
+
+// randomHex returns n bytes of entropy as 2n lowercase hex digits,
+// never all-zero.
+func randomHex(n int) string {
+	buf := make([]byte, n)
+	if _, err := rand.Read(buf); err != nil || allZeroBytes(buf) {
+		ctr := idFallback.Add(1)
+		for i := 0; i < n && i < 8; i++ {
+			buf[i] = byte(ctr >> (8 * i))
+		}
+		buf[n-1] |= 1
+	}
+	return hex.EncodeToString(buf)
+}
+
+func allZeroBytes(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTraceID generates a 16-byte (32 hex) W3C trace ID.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID generates an 8-byte (16 hex) W3C span/parent ID.
+func NewSpanID() string { return randomHex(8) }

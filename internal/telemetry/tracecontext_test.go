@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const parentID = "00f067aa0ba902b7"
+	tc, ok := ParseTraceparent("00-" + traceID + "-" + parentID + "-01")
+	if !ok || tc.TraceID != traceID || tc.ParentID != parentID || !tc.Sampled {
+		t.Fatalf("parse = %+v ok=%t", tc, ok)
+	}
+	tc, ok = ParseTraceparent("00-" + traceID + "-" + parentID + "-00")
+	if !ok || tc.Sampled {
+		t.Fatalf("unsampled flag: %+v ok=%t", tc, ok)
+	}
+
+	bad := []string{
+		"",
+		"00-" + traceID + "-" + parentID,         // truncated
+		"00-" + traceID + "-" + parentID + "-1",  // short flags
+		"00_" + traceID + "-" + parentID + "-01", // wrong separator
+		"ff-" + traceID + "-" + parentID + "-01", // forbidden version
+		"00-" + strings.ToUpper(traceID) + "-" + parentID + "-01", // uppercase hex
+		"00-" + strings.Repeat("0", 32) + "-" + parentID + "-01",  // zero trace ID
+		"00-" + traceID + "-" + strings.Repeat("0", 16) + "-01",   // zero parent ID
+		"00-" + traceID[:31] + "g-" + parentID + "-01",            // non-hex digit
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", s)
+		}
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	traceID, spanID := NewTraceID(), NewSpanID()
+	if len(traceID) != 32 || !isHexLower(traceID) || allZero(traceID) {
+		t.Fatalf("bad trace ID %q", traceID)
+	}
+	if len(spanID) != 16 || !isHexLower(spanID) || allZero(spanID) {
+		t.Fatalf("bad span ID %q", spanID)
+	}
+	tc, ok := ParseTraceparent(FormatTraceparent(traceID, spanID))
+	if !ok || tc.TraceID != traceID || tc.ParentID != spanID || !tc.Sampled {
+		t.Fatalf("round trip = %+v ok=%t", tc, ok)
+	}
+	if NewTraceID() == traceID {
+		t.Fatal("trace IDs must not repeat")
+	}
+}
+
+func TestTraceIDJoinsExport(t *testing.T) {
+	tr := NewTrace("query")
+	tr.SetID("4bf92f3577b34da6a3ce929d0e0e4736")
+	sp := tr.Root().Child("plan")
+	sp.End()
+	tr.Root().End()
+	if got := tr.ID(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("ID = %q", got)
+	}
+	line, err := tr.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"trace_id":"4bf92f3577b34da6a3ce929d0e0e4736"`, `"name":"query"`, `"name":"plan"`} {
+		if !strings.Contains(string(line), want) {
+			t.Errorf("export missing %q: %s", want, line)
+		}
+	}
+}

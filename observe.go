@@ -54,10 +54,30 @@ func DefaultMetricsRegistry() *MetricsRegistry { return telemetry.Default() }
 // NewTrace builds a trace whose root span is the serving call.
 func NewTrace() *Trace { return telemetry.NewTrace("answer") }
 
+// TraceContext aliases one parsed W3C traceparent header.
+type TraceContext = telemetry.TraceContext
+
+// ParseTraceparent parses a W3C traceparent header value (see
+// internal/telemetry for the accepted layout).
+func ParseTraceparent(s string) (TraceContext, bool) { return telemetry.ParseTraceparent(s) }
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// sampled flag set.
+func FormatTraceparent(traceID, spanID string) string {
+	return telemetry.FormatTraceparent(traceID, spanID)
+}
+
+// NewTraceID generates a 16-byte (32 hex) W3C trace ID.
+func NewTraceID() string { return telemetry.NewTraceID() }
+
+// NewSpanID generates an 8-byte (16 hex) W3C span/parent ID.
+func NewSpanID() string { return telemetry.NewSpanID() }
+
 // servingMetrics is one registry's pre-resolved serving instruments.
 // Holding the pointers keeps the hot path free of name lookups.
 type servingMetrics struct {
-	reg *telemetry.Registry
+	reg    *telemetry.Registry
+	tenant string // label every name in this bundle carries ("" = none)
 
 	answers     *telemetry.Counter // xpv_answers_total
 	answerErrs  *telemetry.Counter // xpv_answer_errors_total
@@ -83,41 +103,65 @@ type servingMetrics struct {
 	latRewrite *telemetry.Histogram // xpv_rewrite_ns
 }
 
-// bundles caches one servingMetrics per registry so per-call
-// Options.Metrics overrides do not re-resolve names.
-var bundles sync.Map // *telemetry.Registry -> *servingMetrics
+// bundles caches one servingMetrics per (registry, tenant label) so
+// per-call Options.Metrics overrides and per-tenant labeling do not
+// re-resolve names.
+var bundles sync.Map // bundleKey -> *servingMetrics
+
+// bundleKey identifies one resolved bundle: the registry plus the
+// tenant label every metric name carries ("" = unlabeled).
+type bundleKey struct {
+	reg    *telemetry.Registry
+	tenant string
+}
 
 func metricsFor(reg *telemetry.Registry) *servingMetrics {
+	return labeledMetricsFor(reg, "")
+}
+
+// labeledMetricsFor resolves the serving bundle whose every metric name
+// carries a {tenant="..."} label (none when tenant is ""). Resolution
+// happens once per (registry, tenant); recording afterwards is the same
+// zero-allocation atomic path as unlabeled metrics.
+func labeledMetricsFor(reg *telemetry.Registry, tenant string) *servingMetrics {
 	if reg == nil {
 		return nil
 	}
-	if v, ok := bundles.Load(reg); ok {
+	key := bundleKey{reg, tenant}
+	if v, ok := bundles.Load(key); ok {
 		return v.(*servingMetrics)
+	}
+	name := func(base string) string {
+		if tenant == "" {
+			return base
+		}
+		return telemetry.WithLabel(base, "tenant", tenant)
 	}
 	m := &servingMetrics{
 		reg:           reg,
-		answers:       reg.Counter("xpv_answers_total"),
-		answerErrs:    reg.Counter("xpv_answer_errors_total"),
-		errNotAns:     reg.Counter("xpv_errors_not_answerable_total"),
-		errBudget:     reg.Counter("xpv_errors_budget_total"),
-		errInternal:   reg.Counter("xpv_errors_internal_total"),
-		errCanceled:   reg.Counter("xpv_errors_canceled_total"),
-		planHits:      reg.Counter("xpv_plan_cache_hits_total"),
-		planMisses:    reg.Counter("xpv_plan_cache_misses_total"),
-		planBypass:    reg.Counter("xpv_plan_cache_bypass_total"),
-		planNegative:  reg.Counter("xpv_plan_negative_served_total"),
-		rungFallbacks: reg.Counter("xpv_resilient_fallbacks_total"),
-		slowQueries:   reg.Counter("xpv_slow_queries_total"),
-		latTotal:      reg.Histogram("xpv_answer_ns"),
-		latParse:      reg.Histogram("xpv_parse_ns"),
-		latFilter:     reg.Histogram("xpv_filter_ns"),
-		latSelect:     reg.Histogram("xpv_select_ns"),
-		latRewrite:    reg.Histogram("xpv_rewrite_ns"),
+		tenant:        tenant,
+		answers:       reg.Counter(name("xpv_answers_total")),
+		answerErrs:    reg.Counter(name("xpv_answer_errors_total")),
+		errNotAns:     reg.Counter(name("xpv_errors_not_answerable_total")),
+		errBudget:     reg.Counter(name("xpv_errors_budget_total")),
+		errInternal:   reg.Counter(name("xpv_errors_internal_total")),
+		errCanceled:   reg.Counter(name("xpv_errors_canceled_total")),
+		planHits:      reg.Counter(name("xpv_plan_cache_hits_total")),
+		planMisses:    reg.Counter(name("xpv_plan_cache_misses_total")),
+		planBypass:    reg.Counter(name("xpv_plan_cache_bypass_total")),
+		planNegative:  reg.Counter(name("xpv_plan_negative_served_total")),
+		rungFallbacks: reg.Counter(name("xpv_resilient_fallbacks_total")),
+		slowQueries:   reg.Counter(name("xpv_slow_queries_total")),
+		latTotal:      reg.Histogram(name("xpv_answer_ns")),
+		latParse:      reg.Histogram(name("xpv_parse_ns")),
+		latFilter:     reg.Histogram(name("xpv_filter_ns")),
+		latSelect:     reg.Histogram(name("xpv_select_ns")),
+		latRewrite:    reg.Histogram(name("xpv_rewrite_ns")),
 	}
 	for r := range rungNames {
-		m.rungServed[r] = reg.Counter(fmt.Sprintf("xpv_resilient_rung_served_total{rung=%q}", rungNames[r]))
+		m.rungServed[r] = reg.Counter(name(fmt.Sprintf("xpv_resilient_rung_served_total{rung=%q}", rungNames[r])))
 	}
-	v, _ := bundles.LoadOrStore(reg, m)
+	v, _ := bundles.LoadOrStore(key, m)
 	return v.(*servingMetrics)
 }
 
@@ -136,6 +180,16 @@ func init() {
 // Per-call Options.Metrics still overrides this.
 func (s *System) SetMetricsRegistry(reg *MetricsRegistry) {
 	s.obsPtr.Store(metricsFor(reg))
+}
+
+// SetMetricsTenant points the system's serving metrics at reg with
+// every metric name labeled {tenant="name"}, and stamps the tenant on
+// slow-query log entries. The labeled fast path is identical to the
+// unlabeled one — names resolve once here, recording stays
+// allocation-free. An empty name behaves like SetMetricsRegistry.
+func (s *System) SetMetricsTenant(reg *MetricsRegistry, name string) {
+	s.obsPtr.Store(labeledMetricsFor(reg, name))
+	s.slow.SetLabel(name)
 }
 
 // MetricsRegistry returns the registry the system currently records
@@ -181,14 +235,18 @@ func (s *System) DumpMetrics(w io.Writer) error {
 // callObs is one serving call's observation state, passed by value down
 // the pipeline. The zero value (all nil) is fully inert.
 type callObs struct {
-	m  *servingMetrics // nil = metrics off
-	sp *telemetry.Span // current parent span; nil = tracing off
-	ex *explainSink    // nil unless the call came from Explain
+	m       *servingMetrics // nil = metrics off
+	sp      *telemetry.Span // current parent span; nil = tracing off
+	ex      *explainSink    // nil unless the call came from Explain
+	traceID string          // W3C trace ID for exemplars + slow log ("" = none)
 }
 
 // startObs resolves the call's observation state and its start time.
 func (s *System) startObs(opts Options) (callObs, time.Time) {
-	co := callObs{sp: opts.Trace.Root(), ex: opts.explain}
+	co := callObs{sp: opts.Trace.Root(), ex: opts.explain, traceID: opts.TraceID}
+	if co.traceID == "" {
+		co.traceID = opts.Trace.ID()
+	}
 	if opts.Metrics != nil {
 		co.m = metricsFor(opts.Metrics)
 	} else {
@@ -281,7 +339,10 @@ func (s *System) finishCall(co callObs, b *budget.B, t0 time.Time, src string, q
 	}
 	if m := co.m; m != nil {
 		m.answers.Inc()
-		m.latTotal.Observe(int64(total))
+		// A propagated trace ID makes this observation an exemplar
+		// candidate: the latency bucket retains the ID so a p99 bucket
+		// resolves to a concrete exported trace.
+		m.latTotal.ObserveExemplar(int64(total), co.traceID)
 		if res != nil {
 			if res.ParseNanos > 0 {
 				m.latParse.Observe(res.ParseNanos)
@@ -319,6 +380,7 @@ func (s *System) finishCall(co callObs, b *budget.B, t0 time.Time, src string, q
 			Time:     time.Now(),
 			Strategy: strat,
 			Total:    total,
+			TraceID:  co.traceID,
 		}
 		if src != "" {
 			e.Query = src

@@ -38,9 +38,19 @@ func TestTelemetryOverheadAllocs(t *testing.T) {
 	sys.SetMetricsRegistry(xpathviews.NewMetricsRegistry())
 	enabled := testing.AllocsPerRun(200, call)
 
+	// Tenant-labeled metrics resolve names once at SetMetricsTenant;
+	// recording through the labeled bundle must cost exactly what the
+	// unlabeled bundle costs.
+	sys.SetMetricsTenant(xpathviews.NewMetricsRegistry(), "acme")
+	labeled := testing.AllocsPerRun(200, call)
+
 	if enabled > disabled+1 {
 		t.Fatalf("metrics add %.1f allocs/op (disabled %.1f, enabled %.1f); budget is 1",
 			enabled-disabled, disabled, enabled)
+	}
+	if labeled > enabled {
+		t.Fatalf("tenant-labeled metrics add %.1f allocs/op over unlabeled (%.1f vs %.1f); budget is 0",
+			labeled-enabled, labeled, enabled)
 	}
 	if disabled > hitPathAllocBudget {
 		t.Fatalf("telemetry-disabled hit path allocates %.1f/op, budget %d",

@@ -84,6 +84,11 @@ type Options struct {
 	// Metrics overrides the metrics registry for this call only; nil
 	// uses the system's registry (see SetMetricsRegistry).
 	Metrics *MetricsRegistry
+	// TraceID carries the call's W3C trace ID (32 lowercase hex) without
+	// requiring a full span tree: it joins the call to latency-histogram
+	// exemplars and slow-query log entries. When empty, Trace.ID() is
+	// consulted. Costs nothing beyond the copy — no allocation.
+	TraceID string
 	// explain, when non-nil, collects plan detail (surviving views,
 	// selected covers, cache status) for System.Explain.
 	explain *explainSink
