@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo serve-demo statusz-demo bench-server
+.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo serve-demo statusz-demo bench-server bench-maintain update-demo
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a short fuzz smoke of the XPath parser.
@@ -30,6 +30,15 @@ fmt-check:
 bench:
 	$(GO) test -run='^$$' -bench='AnswerPlanCache|AnswerParallel' -benchmem -count=1 .
 	XPV_BENCH_REPORT=1 $(GO) test -run=TestServingBenchReport -count=1 -v .
+	$(MAKE) bench-maintain
+
+# bench-maintain runs the view-maintenance benchmark (incremental
+# maintenance vs full rematerialization across inserted-subtree sizes,
+# plus the scoped-vs-global invalidation update storm) and refreshes the
+# machine-readable report in BENCH_maintain.json. Interactive variant:
+# `go run ./cmd/xpvbench -maintain`.
+bench-maintain:
+	XPV_BENCH_MAINTAIN=1 $(GO) test -run=TestMaintainBenchReport -count=1 -v .
 
 # obs-demo exercises the observability surface end to end: an -explain
 # run of the paper's running example (Figure 2 document, Table I views,
@@ -89,6 +98,30 @@ statusz-demo:
 	wait $$pid; \
 	grep -q 4bf92f3577b34da6a3ce929d0e0e4736 /tmp/xpv-traces.jsonl; \
 	echo "statusz-demo: trace exported, statusz healthy"
+
+# update-demo exercises the mutation surface end to end: boots xpvserved
+# on the paper's running example, inserts a titled section via POST
+# /v1/update, checks the query surface sees the new paragraph, deletes
+# the section, checks the answer disappears, then drains with SIGTERM
+# and requires a clean exit.
+update-demo:
+	printf '%s' '<b><t/><a/><a/><s><t/><p/><p/><f><i/></f><s><t/><p/><p/><f><i/></f></s></s><s><t/><p/><p/><s><t/><p/><f><i/></f></s><s><t/><p/></s></s></b>' > /tmp/xpv-book.xml
+	$(GO) build -o /tmp/xpvserved ./cmd/xpvserved
+	set -e; \
+	/tmp/xpvserved -addr 127.0.0.1:8934 -doc /tmp/xpv-book.xml \
+	  -view '//s[t]/p' -view '//s[a][.//i]//p' -view '//s[*//t]//p' -view '//s[p]/f' \
+	  -slowlog 1ms & pid=$$!; \
+	for i in $$(seq 1 100); do curl -fsS http://127.0.0.1:8934/readyz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	code=$$(curl -fsS -X POST -d '{"op":"insert","parent_code":"0","xml":"<s><t/><p/></s>"}' \
+	  http://127.0.0.1:8934/v1/update | sed -n 's/.*"code": *"\([^"]*\)".*/\1/p'); \
+	test -n "$$code"; echo "update-demo: inserted section at $$code"; \
+	curl -fsS -X POST -d '{"query": "//s[t]/p"}' http://127.0.0.1:8934/v1/query | grep -q "\"$$code\."; \
+	curl -fsS -X POST -d "{\"op\":\"delete\",\"code\":\"$$code\"}" http://127.0.0.1:8934/v1/update >/dev/null; \
+	curl -fsS -X POST -d '{"query": "//s[t]/p"}' http://127.0.0.1:8934/v1/query | { ! grep -q "\"$$code\."; }; \
+	curl -fsS http://127.0.0.1:8934/metrics | grep xpvd_updates_total; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	echo "update-demo: insert/delete round-trip visible to queries, drained cleanly"
 
 # bench-server runs the daemon load-test harness (sustained, overload
 # with degraded-rung serving, SIGTERM drain) and refreshes the

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"xpathviews"
+	"xpathviews/internal/dewey"
 	"xpathviews/internal/faults"
 	"xpathviews/internal/paperdata"
 )
@@ -59,6 +60,27 @@ func sweep(t *testing.T, sys *xpathviews.System, point string) {
 	if _, _, err := sys.AnswerContained(paperdata.QueryE); err != nil && !errors.Is(err, xpathviews.ErrInternal) {
 		t.Fatalf("[%s] contained: error not contained as ErrInternal: %v", point, err)
 	}
+
+	// Mutation surface: an insert/delete round-trip through the
+	// incremental maintenance path (faults × updates). The fault point
+	// fires before any state changes, so a contained failure must leave
+	// the document and views exactly as they were; a successful insert is
+	// reverted by the paired delete.
+	parent := dewey.Code{0, 8} // the book tree's s2 section
+	ins, err := sys.InsertSubtree(parent, "<p/>")
+	if err != nil {
+		if !errors.Is(err, xpathviews.ErrInternal) {
+			t.Fatalf("[%s] insert: error not contained as ErrInternal: %v", point, err)
+		}
+		var ie *xpathviews.InternalError
+		if !errors.As(err, &ie) || ie.Stage == "" {
+			t.Fatalf("[%s] insert: ErrInternal without a stage: %v", point, err)
+		}
+	} else {
+		if _, derr := sys.DeleteSubtree(ins.Code); derr != nil && !errors.Is(derr, xpathviews.ErrInternal) {
+			t.Fatalf("[%s] delete: error not contained as ErrInternal: %v", point, derr)
+		}
+	}
 }
 
 // TestChaosRegisteredPoints checks the full set of fault points the
@@ -68,6 +90,7 @@ func TestChaosRegisteredPoints(t *testing.T) {
 		"engine.bn", "engine.bf", "vfilter.filtering",
 		"selection.minimum", "selection.heuristic", "selection.costbased",
 		"rewrite.refine", "rewrite.join", "rewrite.extract", "rewrite.contained",
+		"maintain.apply",
 	}
 	names := map[string]bool{}
 	for _, n := range faults.Names() {

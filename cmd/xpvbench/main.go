@@ -4,13 +4,16 @@
 // Usage:
 //
 //	xpvbench [-quick] [-table3] [-fig8] [-fig9] [-fig10] [-fig11] [-fig12]
-//	         [-obs] [-cpuprofile out.prof] [-memprofile out.prof]
+//	         [-obs] [-maintain] [-cpuprofile out.prof] [-memprofile out.prof]
 //
 // With no figure flags, everything runs. -quick shrinks the workload for
 // a fast smoke run. -obs runs the telemetry-overhead benchmark instead
 // (hot serving path with metrics off / on / traced) and writes
-// BENCH_obs.json. -cpuprofile/-memprofile write pprof profiles of the
-// run for digging into the serving hot path (`go tool pprof`).
+// BENCH_obs.json. -maintain runs the view-maintenance benchmark instead
+// (incremental vs full rematerialization across inserted-subtree sizes,
+// plus the scoped-vs-global plan-invalidation update storm).
+// -cpuprofile/-memprofile write pprof profiles of the run for digging
+// into the serving hot path (`go tool pprof`).
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 	f11 := flag.Bool("fig11", false, "run Figure 11 (VFilter size scaling)")
 	f12 := flag.Bool("fig12", false, "run Figure 12 (filtering time)")
 	obs := flag.Bool("obs", false, "run the telemetry-overhead benchmark and write BENCH_obs.json")
+	maintain := flag.Bool("maintain", false, "run the view-maintenance benchmark (incremental vs full remat, update storm)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -67,6 +71,13 @@ func main() {
 
 	if *obs {
 		if err := runObs(os.Stdout, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *maintain {
+		if err := runMaintain(os.Stdout, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,51 @@
+package main
+
+// View-maintenance benchmark (-maintain): runs the same harness as
+// TestMaintainBenchReport (internal/experiments) and prints its two
+// tables — incremental maintenance vs full rematerialization across
+// inserted-subtree sizes, and the plan-cache hit rate under an update
+// storm with scoped vs global invalidation. Unlike `make bench-maintain`
+// this does not rewrite BENCH_maintain.json; it is the interactive view.
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"xpathviews/internal/experiments"
+)
+
+func runMaintain(out io.Writer, quick bool) error {
+	cfg := experiments.MaintainDefault()
+	if quick {
+		cfg = experiments.MaintainQuick()
+	}
+	fmt.Fprintf(out, "maintenance benchmark: scale=%.2f iters=%d storm_rounds=%d\n\n",
+		cfg.Scale, cfg.Iters, cfg.StormRounds)
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	rows, err := experiments.MaintainBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== incremental maintenance vs full rematerialization ==")
+	fmt.Fprintln(w, "subtree\tnodes\tincremental\tfull remat\tspeedup\tdirty views/op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d ns/op\t%d ns/op\t%.1fx\t%.1f\n",
+			r.Name, r.SubtreeNodes, r.IncNsPerOp, r.FullNsPerOp, r.Speedup, r.DirtyViews)
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+
+	fmt.Fprintln(w, "== update storm: plan-cache hit rate by invalidation policy ==")
+	fmt.Fprintln(w, "policy\trounds\tqueries\thits\thit rate")
+	for _, scoped := range []bool{true, false} {
+		row, err := experiments.UpdateStorm(cfg, scoped)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2f\n",
+			row.Mode, row.Rounds, row.Queries, row.Hits, row.HitRate)
+	}
+	return w.Flush()
+}

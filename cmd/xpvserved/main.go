@@ -12,6 +12,7 @@
 // Endpoints:
 //
 //	POST /v1/query    {"query": "...", ...} or {"queries": ["...", ...]}
+//	POST /v1/update   {"op":"insert","parent_code":"0.8","xml":"<p/>"} or {"op":"delete","code":"0.8.9"}
 //	GET  /v1/explain  ?query=...&tenant=...&strategy=HV
 //	GET  /metrics     deterministic text exposition
 //	GET  /statusz     per-tenant SLO burn rates + p99 exemplars (?format=json, ?runtime=1)

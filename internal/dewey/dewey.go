@@ -197,6 +197,18 @@ func (f *FST) RootLabel() string { return f.root }
 // returned slice must not be modified.
 func (f *FST) ChildAlphabet(label string) []string { return f.children[label] }
 
+// ChildIndex returns childLabel's position in parentLabel's child
+// alphabet together with the alphabet size m. ok is false when the FST
+// has never seen childLabel under parentLabel — the schema constraint
+// incremental inserts must respect, because growing an alphabet would
+// change m and silently re-label every existing code.
+func (f *FST) ChildIndex(parentLabel, childLabel string) (idx, m int, ok bool) {
+	alpha := f.index[parentLabel]
+	m = len(f.children[parentLabel])
+	idx, ok = alpha[childLabel]
+	return idx, m, ok
+}
+
 // Decode converts a code into its label-path. The first component must be
 // 0 (the root). Decode fails if the code is inconsistent with the FST.
 func (f *FST) Decode(c Code) ([]string, error) {
@@ -332,6 +344,16 @@ func (e *Encoding) MustCode(n *xmltree.Node) Code {
 	}
 	return c
 }
+
+// Assign records code c for node n. Incremental maintenance uses it to
+// extend the encoding over inserted nodes without re-encoding the tree.
+func (e *Encoding) Assign(n *xmltree.Node, c Code) { e.codes[n] = c }
+
+// Forget drops n's code after the node leaves the tree.
+func (e *Encoding) Forget(n *xmltree.Node) { delete(e.codes, n) }
+
+// Len reports the number of coded nodes.
+func (e *Encoding) Len() int { return len(e.codes) }
 
 // FST returns the transducer the encoding was built with.
 func (e *Encoding) FST() *FST { return e.fst }

@@ -210,6 +210,59 @@ func BuildLabelIndex(t *xmltree.Tree) *LabelIndex {
 // Nodes returns the document-ordered node list for a label.
 func (ix *LabelIndex) Nodes(label string) []*xmltree.Node { return ix.byLabel[label] }
 
+// AddSubtree registers every node of the subtree rooted at n (which must
+// already be attached to t and renumbered) and restores document order
+// for the touched labels only — incremental maintenance instead of a
+// full rebuild.
+func (ix *LabelIndex) AddSubtree(t *xmltree.Tree, n *xmltree.Node) {
+	touched := make(map[string]struct{})
+	var walk func(m *xmltree.Node)
+	walk = func(m *xmltree.Node) {
+		ix.byLabel[m.Label] = append(ix.byLabel[m.Label], m)
+		touched[m.Label] = struct{}{}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	for label := range touched {
+		SortNodes(t, ix.byLabel[label])
+	}
+}
+
+// RemoveSubtree unregisters every node of the subtree rooted at n.
+// Relative order of the survivors is preserved, so no re-sort is needed.
+func (ix *LabelIndex) RemoveSubtree(n *xmltree.Node) {
+	dead := make(map[*xmltree.Node]struct{})
+	touched := make(map[string]struct{})
+	var walk func(m *xmltree.Node)
+	walk = func(m *xmltree.Node) {
+		dead[m] = struct{}{}
+		touched[m.Label] = struct{}{}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	for label := range touched {
+		nodes := ix.byLabel[label]
+		kept := nodes[:0]
+		for _, m := range nodes {
+			if _, gone := dead[m]; !gone {
+				kept = append(kept, m)
+			}
+		}
+		for i := len(kept); i < len(nodes); i++ {
+			nodes[i] = nil
+		}
+		if len(kept) == 0 {
+			delete(ix.byLabel, label)
+		} else {
+			ix.byLabel[label] = kept
+		}
+	}
+}
+
 // Count returns the number of nodes with the given label.
 func (ix *LabelIndex) Count(label string) int { return len(ix.byLabel[label]) }
 

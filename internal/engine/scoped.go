@@ -1,0 +1,74 @@
+package engine
+
+// Scoped evaluation for incremental view maintenance: AnswersWithin
+// re-evaluates a pattern only over the candidates inside one subtree,
+// matching them navigationally against the full document. The maintain
+// subsystem picks the scope (the "dirty root") so that every answer
+// whose membership a mutation can change lies inside it; this evaluator
+// then recomputes exactly that slice of the answer set.
+
+import (
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/xmltree"
+)
+
+// AnswersWithin returns, in document order, the answers of q that lie in
+// the subtree rooted at scope (inclusive). Matching is against the whole
+// document — ancestors above scope participate in spine embedding and
+// predicate checks as usual — only the candidate set is restricted.
+func AnswersWithin(t *xmltree.Tree, q *pattern.Pattern, scope *xmltree.Node) []*xmltree.Node {
+	spine := q.Spine()
+	last := len(spine) - 1
+	root := t.Root()
+
+	// memo caches spine-embedding verdicts per (step, node): "can
+	// spine[0..step] embed along dn's ancestor path with dn as the image
+	// of spine[step], all predicates satisfied". Candidates in a subtree
+	// share ancestors, so memoization keeps the walk near-linear.
+	type key struct {
+		step int
+		n    *xmltree.Node
+	}
+	memo := make(map[key]bool)
+	var up func(step int, dn *xmltree.Node) bool
+	up = func(step int, dn *xmltree.Node) bool {
+		k := key{step, dn}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		ok := matchNodeNav(spine[step], dn, spine, step)
+		if ok {
+			if step == 0 {
+				// The virtual document root has the real root as its only
+				// child: a Child-axis pattern root images the document root
+				// alone, a Descendant-axis root images any node.
+				ok = spine[0].Axis == pattern.Descendant || dn == root
+			} else if spine[step].Axis == pattern.Child {
+				ok = dn.Parent != nil && up(step-1, dn.Parent)
+			} else {
+				ok = false
+				for a := dn.Parent; a != nil; a = a.Parent {
+					if up(step-1, a) {
+						ok = true
+						break
+					}
+				}
+			}
+		}
+		memo[k] = ok
+		return ok
+	}
+
+	var out []*xmltree.Node
+	var walk func(dn *xmltree.Node)
+	walk = func(dn *xmltree.Node) {
+		if up(last, dn) {
+			out = append(out, dn)
+		}
+		for _, c := range dn.Children {
+			walk(c)
+		}
+	}
+	walk(scope)
+	return out
+}

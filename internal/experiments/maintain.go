@@ -1,0 +1,324 @@
+package experiments
+
+// Maintenance benchmarks: what document mutations cost.
+//
+// MaintainBench compares incremental view maintenance (the dirty-root
+// delta pass of internal/maintain, everything InsertSubtree/DeleteSubtree
+// does) against the baseline it replaces — rematerializing every view
+// from scratch after each mutation — across inserted-subtree sizes.
+//
+// UpdateStorm measures what scoped plan invalidation buys under a
+// mutation-heavy workload: per-view generation tracking drops only the
+// cached plans that cover a dirtied view, while the global-bump policy
+// drops every plan on every mutation.
+
+import (
+	"fmt"
+	"time"
+
+	"xpathviews"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xmltree"
+)
+
+// MaintainConfig sizes the maintenance benchmarks.
+type MaintainConfig struct {
+	// Scale is the XMark document scale.
+	Scale float64
+	// Seed drives document generation.
+	Seed int64
+	// Iters is the number of insert+delete cycles measured per subtree
+	// size.
+	Iters int
+	// StormRounds is the number of mutation rounds in the update storm.
+	StormRounds int
+}
+
+// MaintainDefault is the committed-report configuration.
+func MaintainDefault() MaintainConfig {
+	return MaintainConfig{Scale: 0.5, Seed: 2008, Iters: 20, StormRounds: 40}
+}
+
+// MaintainQuick is a smoke-run configuration.
+func MaintainQuick() MaintainConfig {
+	return MaintainConfig{Scale: 0.1, Seed: 2008, Iters: 5, StormRounds: 10}
+}
+
+// maintainViews are the materialized views of the maintenance
+// benchmarks: they cover the document regions the mutation specs touch
+// (items, descriptions, mailboxes, people) plus bystander regions that
+// should stay untouched.
+func maintainViews() []string {
+	return []string{
+		"//item/location",
+		"//item[location]/name",
+		"//item/description//keyword",
+		"//mail[from]/date",
+		"//person/address/city",
+		"//person[address]/name",
+		"//open_auction/bidder/increase",
+		"//closed_auction/price",
+	}
+}
+
+// maintainSpec is one inserted-subtree shape.
+type maintainSpec struct {
+	Name   string
+	Parent string // label of the insertion parent
+	XML    string
+}
+
+func maintainSpecs() []maintainSpec {
+	return []maintainSpec{
+		{"leaf-1", "item", "<quantity/>"},
+		{"mail-5", "item", "<mailbox><mail><from/><to/><date/></mail></mailbox>"},
+		{"description-9", "item",
+			"<description><parlist><listitem><text><bold/><keyword/></text></listitem>" +
+				"<listitem><text><emph/></text></listitem></parlist></description>"},
+		{"person-17", "people",
+			"<person><name/><emailaddress/><phone/>" +
+				"<address><street/><city/><country/><zipcode/></address>" +
+				"<homepage/><creditcard/><profile><interest/><education/><age/></profile>" +
+				"<watches><watch/></watches></person>"},
+	}
+}
+
+// MaintainRow is one subtree-size comparison.
+type MaintainRow struct {
+	Name         string
+	SubtreeNodes int
+	// IncNsPerOp is the mean full InsertSubtree/DeleteSubtree call time
+	// (structural edit + incremental maintenance of every view).
+	IncNsPerOp int64
+	// FullNsPerOp is the mean cost of rematerializing every view over
+	// the mutated document — the non-incremental baseline.
+	FullNsPerOp int64
+	Speedup     float64
+	// DirtyViews is the mean number of views a mutation actually
+	// changed.
+	DirtyViews float64
+}
+
+func newMaintainSystem(cfg MaintainConfig) (*xpathviews.System, error) {
+	doc := xmark.Generate(xmark.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+	sys, err := xpathviews.Open(doc)
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range maintainViews() {
+		if _, err := sys.AddView(src, 0); err != nil {
+			return nil, fmt.Errorf("view %s: %v", src, err)
+		}
+	}
+	return sys, nil
+}
+
+// rematAll times the full-rematerialization baseline: one label-index
+// build over the mutated document plus a from-scratch Materialize of
+// every registered view.
+func rematAll(sys *xpathviews.System) (int64, error) {
+	t0 := time.Now()
+	idx := engine.BuildLabelIndex(sys.Document())
+	for _, v := range sys.Registry().Views() {
+		if _, err := views.Materialize(v.ID, v.Pattern, sys.Document(), sys.Encoding(), idx, 0); err != nil {
+			return 0, err
+		}
+	}
+	return int64(time.Since(t0)), nil
+}
+
+// MaintainBench runs the incremental-vs-full comparison.
+func MaintainBench(cfg MaintainConfig) ([]MaintainRow, error) {
+	sys, err := newMaintainSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []MaintainRow
+	for _, spec := range maintainSpecs() {
+		var parent *xmltree.Node
+		sys.Document().Walk(func(n *xmltree.Node) bool {
+			if n.Label == spec.Parent {
+				parent = n
+				return false
+			}
+			return true
+		})
+		if parent == nil {
+			return nil, fmt.Errorf("no %q node at scale %.2f", spec.Parent, cfg.Scale)
+		}
+		pc := sys.Encoding().MustCode(parent)
+		row := MaintainRow{Name: spec.Name}
+		var incNs, fullNs int64
+		dirty := 0
+		for i := 0; i < cfg.Iters; i++ {
+			ins, err := sys.InsertSubtree(pc, spec.XML)
+			if err != nil {
+				return nil, fmt.Errorf("%s: insert: %v", spec.Name, err)
+			}
+			row.SubtreeNodes = ins.NodesAdded
+			incNs += ins.TotalNanos
+			dirty += ins.DirtyViews
+			full, err := rematAll(sys)
+			if err != nil {
+				return nil, err
+			}
+			fullNs += full
+			del, err := sys.DeleteSubtree(ins.Code)
+			if err != nil {
+				return nil, fmt.Errorf("%s: delete: %v", spec.Name, err)
+			}
+			incNs += del.TotalNanos
+			dirty += del.DirtyViews
+			full, err = rematAll(sys)
+			if err != nil {
+				return nil, err
+			}
+			fullNs += full
+		}
+		ops := int64(2 * cfg.Iters)
+		row.IncNsPerOp = incNs / ops
+		row.FullNsPerOp = fullNs / ops
+		row.Speedup = float64(row.FullNsPerOp) / float64(row.IncNsPerOp)
+		row.DirtyViews = float64(dirty) / float64(ops)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// StormRow is one invalidation policy's outcome under the update storm.
+type StormRow struct {
+	Mode    string // "scoped" or "global"
+	Rounds  int
+	Queries int // plan-cache-eligible query executions
+	Hits    int
+	HitRate float64
+}
+
+// stormQueries: the first query covers the view the storm dirties on
+// every mutation; the rest cover untouched regions. Under scoped
+// invalidation only the first should miss after each mutation.
+func stormQueries() []string {
+	return []string{
+		"//item/location",
+		"//person/address/city",
+		"//mail[from]/date",
+		"//closed_auction/price",
+	}
+}
+
+// UpdateStorm alternates mutations with a fixed query workload and
+// reports the plan-cache hit rate under the given invalidation policy.
+func UpdateStorm(cfg MaintainConfig, scoped bool) (StormRow, error) {
+	sys, err := newMaintainSystem(cfg)
+	if err != nil {
+		return StormRow{}, err
+	}
+	sys.SetScopedInvalidation(scoped)
+	queries := stormQueries()
+	var target *xmltree.Node
+	sys.Document().Walk(func(n *xmltree.Node) bool {
+		if n.Label == "item" {
+			target = n
+			return false
+		}
+		return true
+	})
+	if target == nil {
+		return StormRow{}, fmt.Errorf("no item node at scale %.2f", cfg.Scale)
+	}
+	pc := sys.Encoding().MustCode(target)
+	// Warm every plan.
+	for _, q := range queries {
+		if _, err := sys.Answer(q, xpathviews.HV); err != nil {
+			return StormRow{}, fmt.Errorf("warm %s: %v", q, err)
+		}
+	}
+	row := StormRow{Mode: "global", Rounds: cfg.StormRounds}
+	if scoped {
+		row.Mode = "scoped"
+	}
+	runQueries := func() error {
+		for _, q := range queries {
+			res, err := sys.Answer(q, xpathviews.HV)
+			if err != nil {
+				return fmt.Errorf("%s: %v", q, err)
+			}
+			row.Queries++
+			if res.PlanCacheHit {
+				row.Hits++
+			}
+		}
+		return nil
+	}
+	for r := 0; r < cfg.StormRounds; r++ {
+		// Each round is one insert and one delete, each changing the
+		// //item/location view's fragments, with the query workload
+		// replayed after each mutation.
+		ins, err := sys.InsertSubtree(pc, "<location/>")
+		if err != nil {
+			return StormRow{}, err
+		}
+		if err := runQueries(); err != nil {
+			return StormRow{}, err
+		}
+		if _, err := sys.DeleteSubtree(ins.Code); err != nil {
+			return StormRow{}, err
+		}
+		if err := runQueries(); err != nil {
+			return StormRow{}, err
+		}
+	}
+	row.HitRate = float64(row.Hits) / float64(row.Queries)
+	return row, nil
+}
+
+// MaintainReport runs both benchmarks and assembles the machine-
+// readable report written to BENCH_maintain.json.
+func MaintainReport(cfg MaintainConfig) (map[string]any, []MaintainRow, []StormRow, error) {
+	rows, err := MaintainBench(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	scoped, err := UpdateStorm(cfg, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	global, err := UpdateStorm(cfg, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sizes := map[string]any{}
+	for _, r := range rows {
+		sizes[r.Name] = map[string]any{
+			"subtree_nodes":    r.SubtreeNodes,
+			"inc_ns_per_op":    r.IncNsPerOp,
+			"full_ns_per_op":   r.FullNsPerOp,
+			"speedup":          r.Speedup,
+			"mean_dirty_views": r.DirtyViews,
+		}
+	}
+	report := map[string]any{
+		"source": "TestMaintainBenchReport",
+		"config": map[string]any{
+			"scale": cfg.Scale, "seed": cfg.Seed,
+			"iters": cfg.Iters, "storm_rounds": cfg.StormRounds,
+			"views": maintainViews(),
+		},
+		"incremental_vs_full": sizes,
+		"update_storm": map[string]any{
+			"queries": stormQueries(),
+			"scoped": map[string]any{
+				"hits": scoped.Hits, "queries": scoped.Queries, "hit_rate": scoped.HitRate,
+			},
+			"global": map[string]any{
+				"hits": global.Hits, "queries": global.Queries, "hit_rate": global.HitRate,
+			},
+		},
+		"note": "inc_ns_per_op is the whole InsertSubtree/DeleteSubtree call (structural edit + " +
+			"incremental maintenance of all views); full_ns_per_op rematerializes every view over " +
+			"the mutated document, sharing one label-index build",
+	}
+	return report, rows, []StormRow{scoped, global}, nil
+}

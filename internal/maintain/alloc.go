@@ -1,0 +1,182 @@
+package maintain
+
+// Gap allocation of extended Dewey codes: a new child's component is the
+// smallest value in its label's residue class (component mod m = label
+// index, the invariant decoding relies on) not used by a live sibling.
+// Two properties matter:
+//
+//   - Stability: allocation never renumbers existing siblings, so every
+//     code handed out earlier — including codes stored inside view
+//     fragments and WAL records — stays valid forever.
+//
+//   - Determinism: the chosen component depends only on the live sibling
+//     codes, so replaying a WAL against the original document reproduces
+//     bit-identical codes.
+//
+// Deleted components become gaps that the next same-label insert refills,
+// so an adversarial insert/delete loop at one parent reuses components
+// instead of growing them without bound.
+
+import (
+	"fmt"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/xmltree"
+)
+
+// ChildCode allocates the code for a new child with the given label
+// under parent (which must be coded). It does not assign the code.
+func ChildCode(enc *dewey.Encoding, parent *xmltree.Node, label string) (dewey.Code, error) {
+	fst := enc.FST()
+	idx, m, ok := fst.ChildIndex(parent.Label, label)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q under %q", ErrSchema, label, parent.Label)
+	}
+	pc, ok := enc.CodeOf(parent)
+	if !ok {
+		return nil, fmt.Errorf("maintain: parent %q has no code", parent.Label)
+	}
+	used := make(map[uint32]bool, len(parent.Children))
+	for _, c := range parent.Children {
+		if cc, ok := enc.CodeOf(c); ok && len(cc) == len(pc)+1 {
+			used[cc[len(pc)]] = true
+		}
+	}
+	comp := uint32(idx)
+	for used[comp] {
+		comp += uint32(m)
+	}
+	code := make(dewey.Code, len(pc)+1)
+	copy(code, pc)
+	code[len(pc)] = comp
+	return code, nil
+}
+
+// ValidateSubtree checks that every edge of the subtree rooted at sub is
+// representable under the FST when grafted under a parent labeled
+// parentLabel. Called before any state mutates, so a schema-violating
+// insert is rejected with zero side effects.
+func ValidateSubtree(fst *dewey.FST, parentLabel string, sub *xmltree.Node) error {
+	if _, _, ok := fst.ChildIndex(parentLabel, sub.Label); !ok {
+		return fmt.Errorf("%w: %q under %q", ErrSchema, sub.Label, parentLabel)
+	}
+	var walk func(n *xmltree.Node) error
+	walk = func(n *xmltree.Node) error {
+		for _, c := range n.Children {
+			if _, _, ok := fst.ChildIndex(n.Label, c.Label); !ok {
+				return fmt.Errorf("%w: %q under %q", ErrSchema, c.Label, n.Label)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(sub)
+}
+
+// ChildPos returns the sibling index at which a new child carrying last
+// component comp belongs under parent, so that the children array stays
+// sorted by component — the invariant that keeps document order and code
+// order identical under gap allocation.
+func ChildPos(enc *dewey.Encoding, parent *xmltree.Node, comp uint32) int {
+	pos := 0
+	for _, c := range parent.Children {
+		if cc, ok := enc.CodeOf(c); ok && cc[len(cc)-1] < comp {
+			pos++
+		}
+	}
+	return pos
+}
+
+// EncodeSubtree assigns codes to every node of the freshly grafted
+// subtree rooted at sub (sub.Parent must already be coded) and returns
+// the number of nodes coded. The root is gap-allocated among its
+// pre-existing siblings (ChildCode); its descendants — whole fresh
+// sibling groups with no survivors to dodge — are assigned monotonically
+// in child order, the same discipline the initial document encoding
+// uses, so sibling order and component order agree inside the subtree
+// too. The caller should have validated the subtree first; errors here
+// indicate a bug, not bad input.
+func EncodeSubtree(enc *dewey.Encoding, sub *xmltree.Node) (int, error) {
+	fst := enc.FST()
+	n := 0
+	var walk func(node *xmltree.Node) error
+	walk = func(node *xmltree.Node) error {
+		pc := enc.MustCode(node)
+		next := uint32(0)
+		for _, c := range node.Children {
+			idx, m, ok := fst.ChildIndex(node.Label, c.Label)
+			if !ok {
+				return fmt.Errorf("%w: %q under %q", ErrSchema, c.Label, node.Label)
+			}
+			// Smallest comp >= next with comp ≡ idx (mod m).
+			comp := next + (uint32(idx)+uint32(m)-next%uint32(m))%uint32(m)
+			code := make(dewey.Code, len(pc)+1)
+			copy(code, pc)
+			code[len(pc)] = comp
+			enc.Assign(c, code)
+			n++
+			next = comp + 1
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	code, err := ChildCode(enc, sub.Parent, sub.Label)
+	if err != nil {
+		return n, err
+	}
+	enc.Assign(sub, code)
+	n++
+	if err := walk(sub); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ForgetSubtree drops the codes of every node in the subtree rooted at
+// n, turning their components back into allocatable gaps.
+func ForgetSubtree(enc *dewey.Encoding, n *xmltree.Node) int {
+	count := 0
+	var walk func(m *xmltree.Node)
+	walk = func(m *xmltree.Node) {
+		enc.Forget(m)
+		count++
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return count
+}
+
+// ResolveCode walks from the document root to the live node carrying
+// code, matching one component per level. Codes of siblings share their
+// parent prefix and differ in the last component, so each level costs
+// one scan of the children — no reverse map is maintained.
+func ResolveCode(t *xmltree.Tree, enc *dewey.Encoding, code dewey.Code) (*xmltree.Node, bool) {
+	if len(code) == 0 {
+		return nil, false
+	}
+	n := t.Root()
+	rc, ok := enc.CodeOf(n)
+	if !ok || rc[0] != code[0] {
+		return nil, false
+	}
+	for depth := 1; depth < len(code); depth++ {
+		var next *xmltree.Node
+		for _, c := range n.Children {
+			if cc, ok := enc.CodeOf(c); ok && len(cc) == depth+1 && cc[depth] == code[depth] {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil, false
+		}
+		n = next
+	}
+	return n, true
+}

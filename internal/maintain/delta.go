@@ -1,0 +1,178 @@
+package maintain
+
+// Delta application: incrementally maintain one view after a subtree
+// mutation. The caller (the owning System, under its write lock) has
+// already applied the structural change to the document, encoding and
+// label index; this file updates the view's fragment store to match.
+
+import (
+	"fmt"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/engine"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xmltree"
+)
+
+// DeltaStats reports what one view's maintenance pass did.
+type DeltaStats struct {
+	// Added/Removed count fragments whose roots entered/left the view;
+	// Refreshed counts fragments whose membership held but whose copied
+	// content contained the mutation point and was re-copied.
+	Added, Removed, Refreshed int
+	// Changed reports that the fragment store was modified at all — the
+	// signal that bumps the view's generation.
+	Changed bool
+	// Scanned reports that the pattern was re-evaluated over the dirty
+	// scope (false when the label prefilter proved membership could not
+	// change).
+	Scanned bool
+}
+
+// ApplyDelta maintains v after a mutation rooted at mutCode. scope is
+// v's dirty root (an ancestor-or-self of the mutation root, computed
+// via DirtyDepth) resolved in the post-mutation document; it is nil
+// exactly when the dirty root was the deleted subtree itself, in which
+// case the scope's prefix range simply empties. mutLabels is the label
+// set of the mutated subtree, used to skip re-evaluation for views whose
+// patterns cannot touch it.
+func ApplyDelta(v *views.View, doc *xmltree.Tree, enc *dewey.Encoding, scope *xmltree.Node, scopeCode, mutCode dewey.Code, mutLabels map[string]struct{}) (DeltaStats, error) {
+	var st DeltaStats
+
+	if !patternTouches(v.Pattern, mutLabels) {
+		// Membership cannot change: every witness a membership flip needs
+		// would carry a label from the mutated subtree. Only fragments
+		// whose copied content contains the mutation point (roots at
+		// proper-ancestor-or-self codes of mutCode) need a re-copy.
+		if err := refreshAncestors(v, doc, enc, mutCode, len(mutCode), &st); err != nil {
+			return st, err
+		}
+		st.Changed = st.Refreshed > 0
+		return st, nil
+	}
+	st.Scanned = true
+
+	// Re-evaluate the pattern inside the dirty scope against the full
+	// document and splice the result over the scope's prefix range.
+	lo, hi := v.PrefixRange(scopeCode)
+	var answers []*xmltree.Node
+	if scope != nil {
+		answers = engine.AnswersWithin(doc, v.Pattern, scope)
+	}
+	fresh := make([]views.Fragment, 0, len(answers))
+	for _, a := range answers {
+		f, err := views.BuildFragment(enc, a)
+		if err != nil {
+			return st, fmt.Errorf("maintain: view %d: %w", v.ID, err)
+		}
+		fresh = append(fresh, f)
+	}
+
+	// Merge-diff old range vs fresh (both code-sorted) to see whether the
+	// splice changes anything: differing codes always do; equal codes only
+	// when the fragment's subtree contains or is contained in the mutated
+	// one (its copied content changed).
+	old := v.Fragments[lo:hi]
+	i, j := 0, 0
+	changed := false
+	for i < len(old) && j < len(fresh) {
+		switch c := dewey.Compare(old[i].Code, fresh[j].Code); {
+		case c < 0:
+			st.Removed++
+			changed = true
+			i++
+		case c > 0:
+			st.Added++
+			changed = true
+			j++
+		default:
+			if dewey.IsPrefix(old[i].Code, mutCode) || dewey.IsPrefix(mutCode, old[i].Code) {
+				st.Refreshed++
+				changed = true
+			}
+			i++
+			j++
+		}
+	}
+	st.Removed += len(old) - i
+	st.Added += len(fresh) - j
+	if st.Added > 0 || st.Removed > 0 {
+		changed = true
+	}
+	if changed {
+		v.ReplaceRange(lo, hi, fresh)
+	}
+	st.Changed = changed
+
+	// Fragments rooted above the splice range that contain the mutation
+	// point: membership unchanged, content re-copied. The scope root and
+	// everything below it were already rebuilt by the splice.
+	if err := refreshAncestors(v, doc, enc, mutCode, len(scopeCode)-1, &st); err != nil {
+		return st, err
+	}
+	st.Changed = st.Changed || st.Refreshed > 0
+	return st, nil
+}
+
+// refreshAncestors re-copies every fragment rooted at a prefix of
+// mutCode shorter than limit components — the fragments whose stored
+// subtree copies contain the mutation point but whose membership is
+// untouched. For deletes the deepest prefix (the deleted root itself,
+// when limit permits) can no longer resolve; by the prefilter/splice
+// arguments no fragment can be rooted there, so resolution failure for
+// an existing fragment is reported as corruption.
+func refreshAncestors(v *views.View, doc *xmltree.Tree, enc *dewey.Encoding, mutCode dewey.Code, limit int, st *DeltaStats) error {
+	for l := 1; l <= limit && l <= len(mutCode); l++ {
+		prefix := mutCode[:l]
+		i := v.FindCode(prefix)
+		if i < 0 {
+			continue
+		}
+		n, ok := ResolveCode(doc, enc, prefix)
+		if !ok {
+			return fmt.Errorf("maintain: view %d: fragment root %s no longer resolves", v.ID, prefix)
+		}
+		f, err := views.BuildFragment(enc, n)
+		if err != nil {
+			return fmt.Errorf("maintain: view %d: %w", v.ID, err)
+		}
+		v.TotalBytes += f.Bytes - v.Fragments[i].Bytes
+		v.Fragments[i] = f
+		st.Refreshed++
+	}
+	return nil
+}
+
+// patternTouches reports whether any node of p could image a node of
+// the mutated subtree: a wildcard matches anything, otherwise some
+// pattern label must occur among the subtree's labels.
+func patternTouches(p *pattern.Pattern, mutLabels map[string]struct{}) bool {
+	touched := false
+	p.Walk(func(n *pattern.Node) bool {
+		if n.Label == pattern.Wildcard {
+			touched = true
+			return false
+		}
+		if _, ok := mutLabels[n.Label]; ok {
+			touched = true
+			return false
+		}
+		return true
+	})
+	return touched
+}
+
+// SubtreeLabels collects the label set of the subtree rooted at n.
+func SubtreeLabels(n *xmltree.Node) map[string]struct{} {
+	out := make(map[string]struct{})
+	var walk func(m *xmltree.Node)
+	walk = func(m *xmltree.Node) {
+		out[m.Label] = struct{}{}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}

@@ -1,0 +1,86 @@
+package maintain
+
+// Dirty-root detection: how far above the mutation root must a view be
+// re-evaluated?
+//
+// Patterns here are downward-only ({/, //, *, []}), so an answer f's
+// spine embedding is a descending chain of images ending at f. If any
+// image lies inside the mutated subtree T(R), the whole tail of the
+// chain — including f — lies inside T(R). Therefore an answer OUTSIDE
+// T(R) can only change membership when a spine node's *predicate*
+// witness moves in or out of T(R); the predicate is evaluated under the
+// spine node's image w, so T(w) must intersect T(R), i.e. w is a proper
+// ancestor of R (w inside T(R) again forces f inside T(R), and
+// attributes of surviving nodes never change under subtree mutations).
+// Such changed answers live anywhere under w.
+//
+// DirtyDepth computes the highest ancestor w any predicate-bearing
+// spine node could structurally image (labels and axes only — ignoring
+// predicates is a sound over-approximation), and returns its depth; the
+// mutation root's own depth when no lift is possible. Re-evaluating the
+// view inside the subtree at that depth therefore covers every possible
+// membership change.
+
+import "xpathviews/internal/pattern"
+
+// DirtyDepth returns the depth (0 = document root) of the dirty root
+// for pattern p and a mutation whose root has the given root-to-self
+// label path. The result is always in [0, len(path)-1].
+func DirtyDepth(p *pattern.Pattern, path []string) int {
+	spine := p.Spine()
+	k := len(path) - 1
+	best := k
+	// prev[i] = "spine[0..j-1] can embed along path[0..i] with path[i]
+	// the image of spine[j-1]".
+	prev := make([]bool, k+1)
+	cur := make([]bool, k+1)
+	for j, pn := range spine {
+		anyPrev := false // OR of prev[0..i-1], maintained incrementally
+		for i := 0; i <= k; i++ {
+			ok := pn.Label == pattern.Wildcard || pn.Label == path[i]
+			if ok {
+				switch {
+				case j == 0:
+					// The pattern root hangs off the virtual document root:
+					// Child axis images only the real root (depth 0).
+					ok = pn.Axis == pattern.Descendant || i == 0
+				case pn.Axis == pattern.Child:
+					ok = i > 0 && prev[i-1]
+				default:
+					ok = anyPrev
+				}
+			}
+			cur[i] = ok
+			if i < k && prev[i] {
+				anyPrev = true
+			}
+		}
+		if bearsPredicate(pn, spine, j) {
+			for i := 0; i < best; i++ {
+				if cur[i] {
+					best = i
+					break
+				}
+			}
+			if best == 0 {
+				return 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// bearsPredicate reports whether spine[j] constrains its image's subtree
+// beyond the spine continuation: any off-spine child branch is an
+// existential predicate whose witness may sit in the mutated subtree
+// while the image sits above it.
+func bearsPredicate(pn *pattern.Node, spine []*pattern.Node, j int) bool {
+	for _, c := range pn.Children {
+		if j+1 < len(spine) && c == spine[j+1] {
+			continue
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,294 @@
+package maintain_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/maintain"
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/xmltree"
+	"xpathviews/internal/xpath"
+)
+
+func bookFixture(t *testing.T) (*xmltree.Tree, *dewey.Encoding) {
+	t.Helper()
+	tree := paperdata.BookTree()
+	enc, err := dewey.Encode(tree, paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, enc
+}
+
+// TestChildCodeFillsGaps: the book root's sections sit at components 5
+// and 8 (residue 2 mod 3); the first free residue-2 component is 2, so a
+// new section must land there instead of growing past 8.
+func TestChildCodeFillsGaps(t *testing.T) {
+	tree, enc := bookFixture(t)
+	code, err := maintain.ChildCode(enc, tree.Root(), paperdata.Section)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := code.String(); got != "0.2" {
+		t.Fatalf("new section code = %s, want 0.2 (first gap in residue class)", got)
+	}
+	// A new author: residue 1 mod 3, components 1 and 4 taken, next is 7.
+	code, err = maintain.ChildCode(enc, tree.Root(), paperdata.Author)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := code.String(); got != "0.7" {
+		t.Fatalf("new author code = %s, want 0.7", got)
+	}
+}
+
+// TestChildCodeSchemaError: a label outside the parent's child alphabet
+// is rejected with ErrSchema before anything mutates.
+func TestChildCodeSchemaError(t *testing.T) {
+	tree, enc := bookFixture(t)
+	if _, err := maintain.ChildCode(enc, tree.Root(), paperdata.Image); err == nil {
+		t.Fatal("expected ErrSchema for image under book")
+	}
+	sub, err := xmltree.ParseString("<s><t/><zzz/></s>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := maintain.ValidateSubtree(enc.FST(), paperdata.Book, sub.Root()); err == nil {
+		t.Fatal("expected ErrSchema for unknown label inside subtree")
+	}
+	if err := maintain.ValidateSubtree(enc.FST(), paperdata.Paragraph, tree.Root()); err == nil {
+		t.Fatal("expected ErrSchema for book under paragraph")
+	}
+}
+
+// TestGapReuseAdversarial: the always-insert-then-delete loop at one
+// parent must reuse the same component forever, not march toward
+// overflow.
+func TestGapReuseAdversarial(t *testing.T) {
+	tree, enc := bookFixture(t)
+	s2 := tree.Root().Children[4] // section s2 at 0.8
+	var first dewey.Code
+	for i := 0; i < 100; i++ {
+		n := tree.AddChild(s2, paperdata.Paragraph)
+		code, err := maintain.ChildCode(enc, s2, paperdata.Paragraph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc.Assign(n, code)
+		if i == 0 {
+			first = code.Clone()
+		} else if dewey.Compare(code, first) != 0 {
+			t.Fatalf("iteration %d allocated %s, want stable reuse of %s", i, code, first)
+		}
+		enc.Forget(n)
+		if err := tree.Detach(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGapAllocProperty drives a long random interleaving of inserts and
+// deletes and checks the allocator's contract after every step batch:
+// pre-existing codes never change, codes stay unique, the prefix
+// relation mirrors ancestry exactly, and every code still decodes to its
+// node's label path under the FST.
+func TestGapAllocProperty(t *testing.T) {
+	tree, enc := bookFixture(t)
+	fst := enc.FST()
+	rng := rand.New(rand.NewSource(42))
+
+	// Snapshot the seed document's codes: stability means these strings
+	// never change, no matter what the mutation stream does.
+	original := map[*xmltree.Node]string{}
+	tree.Walk(func(n *xmltree.Node) bool {
+		original[n] = enc.MustCode(n).String()
+		return true
+	})
+
+	var inserted []*xmltree.Node
+	for step := 0; step < 600; step++ {
+		if rng.Intn(3) > 0 || len(inserted) == 0 {
+			// Insert a leaf with a schema-valid label under a random
+			// coded node that admits children.
+			var parents []*xmltree.Node
+			tree.Walk(func(n *xmltree.Node) bool {
+				if len(fst.ChildAlphabet(n.Label)) > 0 {
+					parents = append(parents, n)
+				}
+				return true
+			})
+			p := parents[rng.Intn(len(parents))]
+			alpha := fst.ChildAlphabet(p.Label)
+			label := alpha[rng.Intn(len(alpha))]
+			code, err := maintain.ChildCode(enc, p, label)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			n := tree.AddChild(p, label)
+			enc.Assign(n, code)
+			inserted = append(inserted, n)
+		} else {
+			// Delete a random inserted node that is still a leaf (an
+			// inserted node may have gained children since).
+			i := rng.Intn(len(inserted))
+			n := inserted[i]
+			if len(n.Children) > 0 {
+				continue
+			}
+			enc.Forget(n)
+			if err := tree.Detach(n); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			inserted = append(inserted, nil)
+			inserted[i] = inserted[len(inserted)-2]
+			inserted = inserted[:len(inserted)-2]
+		}
+
+		if step%100 != 99 {
+			continue
+		}
+		// Invariant 1: seed codes untouched.
+		for n, want := range original {
+			if got := enc.MustCode(n).String(); got != want {
+				t.Fatalf("step %d: pre-existing code mutated: %s -> %s", step, want, got)
+			}
+		}
+		// Invariant 2+3+4: uniqueness, FST-decodability, prefix ⟺ ancestry.
+		nodes := tree.Nodes()
+		codes := make(map[string]bool, len(nodes))
+		for _, n := range nodes {
+			c := enc.MustCode(n)
+			s := c.String()
+			if codes[s] {
+				t.Fatalf("step %d: duplicate code %s", step, s)
+			}
+			codes[s] = true
+			path, err := fst.Decode(c)
+			if err != nil {
+				t.Fatalf("step %d: code %s undecodable: %v", step, s, err)
+			}
+			lp := n.LabelPath()
+			if len(path) != len(lp) {
+				t.Fatalf("step %d: code %s decodes to %v, node path %v", step, s, path, lp)
+			}
+			for i := range path {
+				if path[i] != lp[i] {
+					t.Fatalf("step %d: code %s decodes to %v, node path %v", step, s, path, lp)
+				}
+			}
+		}
+		for _, a := range nodes {
+			for _, b := range nodes {
+				ca, cb := enc.MustCode(a), enc.MustCode(b)
+				if got, want := dewey.IsAncestor(ca, cb), a.IsAncestorOf(b); got != want {
+					t.Fatalf("step %d: IsAncestor(%s,%s)=%v but tree ancestry=%v", step, ca, cb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestResolveCode walks allocated codes back to their nodes and rejects
+// codes with no live owner.
+func TestResolveCode(t *testing.T) {
+	tree, enc := bookFixture(t)
+	tree.Walk(func(n *xmltree.Node) bool {
+		got, ok := maintain.ResolveCode(tree, enc, enc.MustCode(n))
+		if !ok || got != n {
+			t.Fatalf("ResolveCode(%s) = %v, %v; want the owning node", enc.MustCode(n), got, ok)
+		}
+		return true
+	})
+	if _, ok := maintain.ResolveCode(tree, enc, dewey.Code{0, 2}); ok {
+		t.Fatal("ResolveCode resolved a gap component")
+	}
+	if _, ok := maintain.ResolveCode(tree, enc, nil); ok {
+		t.Fatal("ResolveCode resolved the empty code")
+	}
+}
+
+// TestDirtyDepth pins the lift decisions on the paper's views: patterns
+// without predicates never lift above the mutation root, predicate-
+// bearing spine nodes lift exactly to the highest ancestor they can
+// structurally image.
+func TestDirtyDepth(t *testing.T) {
+	cases := []struct {
+		query string
+		path  []string
+		want  int
+	}{
+		// No predicates: the mutation root itself is the dirty root.
+		{"//s/p", []string{"b", "s", "p"}, 2},
+		{"//s//p", []string{"b", "s", "s", "p"}, 3},
+		// V1 = //s[t]/p: s can image the depth-1 section above a
+		// mutated paragraph, so the dirty root lifts to depth 1.
+		{"//s[t]/p", []string{"b", "s", "p"}, 1},
+		// Nested sections: s images every ancestor section; the
+		// highest is depth 1.
+		{"//s[t]/p", []string{"b", "s", "s", "p"}, 1},
+		// Predicate on the document root's child: lifts all the way to
+		// depth 0.
+		{"/b[t]//p", []string{"b", "s", "s", "p"}, 0},
+		// Label mismatch: f cannot image any ancestor of a paragraph
+		// mutation, so no lift happens.
+		{"//f[i]", []string{"b", "s", "p"}, 2},
+		// Wildcard spine node images anything.
+		{"//*[t]/p", []string{"b", "s", "p"}, 0},
+		// Child-axis root: /s cannot image the b root and no ancestor
+		// matches, so no lift.
+		{"/s[t]/p", []string{"b", "s", "p"}, 2},
+	}
+	for _, tc := range cases {
+		p, err := xpath.Parse(tc.query)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		if got := maintain.DirtyDepth(p, tc.path); got != tc.want {
+			t.Errorf("DirtyDepth(%s, %v) = %d, want %d", tc.query, tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestRecordRoundTrip: WAL records encode/decode losslessly, and the key
+// codec keeps numeric and lexicographic order aligned.
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []maintain.Record{
+		{Op: maintain.OpInsert, Code: dewey.Code{0, 8}, XML: "<p/>"},
+		{Op: maintain.OpInsert, Code: dewey.Code{0, 5, 7}, XML: "<i/><!-- x -->"},
+		{Op: maintain.OpDelete, Code: dewey.Code{0, 8, 6, 3, 0}},
+		{Op: maintain.OpDelete, Code: dewey.Code{0}},
+	}
+	for _, r := range recs {
+		got, err := maintain.DecodeRecord(r.Encode())
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if got.Op != r.Op || got.XML != r.XML || dewey.Compare(got.Code, r.Code) != 0 {
+			t.Fatalf("round trip: got %+v want %+v", got, r)
+		}
+	}
+	for _, bad := range [][]byte{nil, {'I'}, {'X', 0}, {'I', 200, 'a'}} {
+		if _, err := maintain.DecodeRecord(bad); err == nil {
+			t.Fatalf("DecodeRecord(%v) accepted garbage", bad)
+		}
+	}
+
+	prev := ""
+	for _, seq := range []uint64{0, 1, 9, 10, 99, 1000000, 1<<40 - 1} {
+		k := maintain.Key(seq)
+		if k <= prev {
+			t.Fatalf("keys out of order: %q after %q", k, prev)
+		}
+		prev = k
+		got, ok := maintain.ParseKey(k)
+		if !ok || got != seq {
+			t.Fatalf("ParseKey(%q) = %d, %v; want %d", k, got, ok, seq)
+		}
+	}
+	for _, bad := range []string{"", "m!", "m!123", "x!0000000000000001", "m!00000000000000ab"} {
+		if _, ok := maintain.ParseKey(bad); ok {
+			t.Fatalf("ParseKey(%q) accepted garbage", bad)
+		}
+	}
+}

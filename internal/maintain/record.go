@@ -1,0 +1,89 @@
+package maintain
+
+// WAL records: mutations ride the append-only log of internal/storage,
+// whose CRC-framed records and torn-tail truncation on Open give crash
+// recovery for free. Each mutation is one Put under a monotonically
+// increasing, zero-padded key, so storage.Keys (sorted) returns records
+// in application order and a partially appended final record is dropped
+// by the store before replay ever sees it.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xpathviews/internal/dewey"
+)
+
+// Op tags one WAL record.
+type Op byte
+
+const (
+	// OpInsert records InsertSubtree(Code=parent, XML=subtree).
+	OpInsert Op = 'I'
+	// OpDelete records DeleteSubtree(Code).
+	OpDelete Op = 'D'
+)
+
+// Record is one logged mutation. For OpInsert, Code addresses the parent
+// and XML is the inserted subtree's serialization; for OpDelete, Code
+// addresses the deleted subtree root and XML is empty.
+type Record struct {
+	Op   Op
+	Code dewey.Code
+	XML  string
+}
+
+// KeyPrefix namespaces mutation records inside a shared store.
+const KeyPrefix = "m!"
+
+// Key renders the storage key for sequence number seq. Zero-padded
+// decimal keeps lexicographic and numeric order identical.
+func Key(seq uint64) string { return fmt.Sprintf("%s%016d", KeyPrefix, seq) }
+
+// ParseKey extracts the sequence number from a mutation key.
+func ParseKey(key string) (uint64, bool) {
+	if len(key) != len(KeyPrefix)+16 || key[:len(KeyPrefix)] != KeyPrefix {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range key[len(KeyPrefix):] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// Encode serializes the record: op byte, uvarint code length, the code's
+// dotted form, then the XML payload (to the end of the value).
+func (r Record) Encode() []byte {
+	code := r.Code.String()
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(code)+len(r.XML))
+	buf = append(buf, byte(r.Op))
+	buf = binary.AppendUvarint(buf, uint64(len(code)))
+	buf = append(buf, code...)
+	buf = append(buf, r.XML...)
+	return buf
+}
+
+// DecodeRecord parses an encoded record.
+func DecodeRecord(b []byte) (Record, error) {
+	if len(b) < 2 {
+		return Record{}, fmt.Errorf("maintain: record too short (%d bytes)", len(b))
+	}
+	op := Op(b[0])
+	if op != OpInsert && op != OpDelete {
+		return Record{}, fmt.Errorf("maintain: unknown record op %q", b[0])
+	}
+	n, w := binary.Uvarint(b[1:])
+	if w <= 0 || uint64(len(b)-1-w) < n {
+		return Record{}, fmt.Errorf("maintain: corrupt record length")
+	}
+	rest := b[1+w:]
+	code, err := dewey.ParseCode(string(rest[:n]))
+	if err != nil {
+		return Record{}, fmt.Errorf("maintain: record code: %w", err)
+	}
+	return Record{Op: op, Code: code, XML: string(rest[n:])}, nil
+}

@@ -102,6 +102,8 @@ type serverMetrics struct {
 	servedByPressure [2]*telemetry.Counter         // xpvd_served_total{pressure=...}
 	coalesced        *telemetry.Counter            // xpvd_coalesced_answers_total
 	batchQueries     *telemetry.Counter            // xpvd_batch_queries_total
+	updates          *telemetry.Counter            // xpvd_updates_total
+	updateErrs       *telemetry.Counter            // xpvd_update_errors_total
 
 	drains      *telemetry.Counter // xpvd_drains_total
 	drainLastNs *telemetry.Gauge   // xpvd_drain_last_ns
@@ -119,6 +121,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		respServer:   reg.Counter("xpvd_responses_server_error_total"),
 		coalesced:    reg.Counter("xpvd_coalesced_answers_total"),
 		batchQueries: reg.Counter("xpvd_batch_queries_total"),
+		updates:      reg.Counter("xpvd_updates_total"),
+		updateErrs:   reg.Counter("xpvd_update_errors_total"),
 		drains:       reg.Counter("xpvd_drains_total"),
 		drainLastNs:  reg.Gauge("xpvd_drain_last_ns"),
 		sloTrips:     reg.Counter("xpvd_slo_watchdog_trips_total"),
@@ -256,6 +260,7 @@ func New(cfg Config, tenants []*Tenant) (*Server, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

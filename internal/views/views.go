@@ -46,6 +46,11 @@ type View struct {
 	Fragments []Fragment
 	// TotalBytes is the sum of fragment sizes.
 	TotalBytes int
+	// Gen is the view's content generation: incremental maintenance bumps
+	// it whenever a mutation actually changes this view's fragment store,
+	// so scoped plan invalidation can tell dirty views from clean ones.
+	// It is written under the owning System's write lock.
+	Gen uint64
 }
 
 // Materialize evaluates v's pattern over the base document and stores its
@@ -59,26 +64,12 @@ func Materialize(id int, p *pattern.Pattern, t *xmltree.Tree, enc *dewey.Encodin
 	answers := engine.AnswersFast(t, idx, p)
 	v := &View{ID: id, Pattern: p, Fragments: make([]Fragment, 0, len(answers))}
 	for _, a := range answers {
-		code, ok := enc.CodeOf(a)
-		if !ok {
-			return nil, fmt.Errorf("views: answer node %q has no dewey code", a.Label)
+		frag, err := BuildFragment(enc, a)
+		if err != nil {
+			return nil, fmt.Errorf("views: %w", err)
 		}
-		sub := xmltree.FromRoot(a.CopySubtree())
-		size := xmltree.SerializedSize(sub.Root())
-		// CopySubtree preserves preorder, so the original subtree's node
-		// codes align index-for-index with sub.Tree.Nodes().
-		var codes []dewey.Code
-		var collect func(n *xmltree.Node)
-		collect = func(n *xmltree.Node) {
-			c, _ := enc.CodeOf(n)
-			codes = append(codes, c)
-			for _, ch := range n.Children {
-				collect(ch)
-			}
-		}
-		collect(a)
-		v.Fragments = append(v.Fragments, Fragment{Tree: sub, Code: code.Clone(), NodeCodes: codes, Bytes: size})
-		v.TotalBytes += size
+		v.Fragments = append(v.Fragments, frag)
+		v.TotalBytes += frag.Bytes
 		if limit > 0 && v.TotalBytes > limit {
 			return nil, fmt.Errorf("views: view %d: %w (%d bytes > %d)", id, ErrTooLarge, v.TotalBytes, limit)
 		}
@@ -87,6 +78,74 @@ func Materialize(id int, p *pattern.Pattern, t *xmltree.Tree, enc *dewey.Encodin
 		return dewey.Compare(v.Fragments[i].Code, v.Fragments[j].Code) < 0
 	})
 	return v, nil
+}
+
+// BuildFragment materializes one answer node of the base document as a
+// standalone fragment: a deep copy of its subtree plus the preorder-
+// aligned base-document codes of every fragment node.
+func BuildFragment(enc *dewey.Encoding, a *xmltree.Node) (Fragment, error) {
+	code, ok := enc.CodeOf(a)
+	if !ok {
+		return Fragment{}, fmt.Errorf("answer node %q has no dewey code", a.Label)
+	}
+	sub := xmltree.FromRoot(a.CopySubtree())
+	size := xmltree.SerializedSize(sub.Root())
+	// CopySubtree preserves preorder, so the original subtree's node
+	// codes align index-for-index with sub.Nodes().
+	var codes []dewey.Code
+	var collect func(n *xmltree.Node)
+	collect = func(n *xmltree.Node) {
+		c, _ := enc.CodeOf(n)
+		codes = append(codes, c)
+		for _, ch := range n.Children {
+			collect(ch)
+		}
+	}
+	collect(a)
+	return Fragment{Tree: sub, Code: code.Clone(), NodeCodes: codes, Bytes: size}, nil
+}
+
+// PrefixRange returns the half-open index range [lo, hi) of v.Fragments
+// whose codes have prefix p — the fragments rooted in the subtree p
+// encodes. Fragments are sorted by code (document order with ancestors
+// first), so the range is contiguous and found by binary search.
+func (v *View) PrefixRange(p dewey.Code) (lo, hi int) {
+	lo = sort.Search(len(v.Fragments), func(i int) bool {
+		return dewey.Compare(v.Fragments[i].Code, p) >= 0
+	})
+	hi = lo
+	for hi < len(v.Fragments) && dewey.IsPrefix(p, v.Fragments[hi].Code) {
+		hi++
+	}
+	return lo, hi
+}
+
+// FindCode returns the index of the fragment rooted exactly at code c,
+// or -1.
+func (v *View) FindCode(c dewey.Code) int {
+	i := sort.Search(len(v.Fragments), func(i int) bool {
+		return dewey.Compare(v.Fragments[i].Code, c) >= 0
+	})
+	if i < len(v.Fragments) && dewey.Compare(v.Fragments[i].Code, c) == 0 {
+		return i
+	}
+	return -1
+}
+
+// ReplaceRange splices frags (already in document order) over
+// v.Fragments[lo:hi], keeping TotalBytes consistent.
+func (v *View) ReplaceRange(lo, hi int, frags []Fragment) {
+	for _, f := range v.Fragments[lo:hi] {
+		v.TotalBytes -= f.Bytes
+	}
+	for _, f := range frags {
+		v.TotalBytes += f.Bytes
+	}
+	out := make([]Fragment, 0, len(v.Fragments)-(hi-lo)+len(frags))
+	out = append(out, v.Fragments[:lo]...)
+	out = append(out, frags...)
+	out = append(out, v.Fragments[hi:]...)
+	v.Fragments = out
 }
 
 // ErrTooLarge reports that a view's fragments exceed the configured cap.

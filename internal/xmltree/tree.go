@@ -85,6 +85,64 @@ func (t *Tree) AddChild(parent *Node, label string) *Node {
 	return n
 }
 
+// Graft adopts sub — a parentless node structure, e.g. a parsed
+// document's root — as a new child of parent and renumbers eagerly, so
+// concurrent readers never race on a lazy renumber afterwards.
+func (t *Tree) Graft(parent, sub *Node) {
+	if parent == nil || sub == nil {
+		panic("xmltree: Graft with nil node")
+	}
+	if sub.Parent != nil {
+		panic("xmltree: Graft of an attached subtree")
+	}
+	sub.Parent = parent
+	parent.Children = append(parent.Children, sub)
+	t.renumber()
+}
+
+// GraftAt is Graft at an explicit sibling position: sub becomes
+// parent.Children[i], shifting later siblings right. Callers that keep
+// an external sibling order (the Dewey code order of the maintenance
+// layer) use it to splice a node where that order dictates.
+func (t *Tree) GraftAt(parent, sub *Node, i int) {
+	if parent == nil || sub == nil {
+		panic("xmltree: GraftAt with nil node")
+	}
+	if sub.Parent != nil {
+		panic("xmltree: GraftAt of an attached subtree")
+	}
+	if i < 0 || i > len(parent.Children) {
+		panic("xmltree: GraftAt position out of range")
+	}
+	sub.Parent = parent
+	parent.Children = append(parent.Children, nil)
+	copy(parent.Children[i+1:], parent.Children[i:])
+	parent.Children[i] = sub
+	t.renumber()
+}
+
+// Detach removes the subtree rooted at n from the tree and renumbers
+// eagerly. The detached structure keeps its internal links but loses its
+// Parent. Detaching the root is an error.
+func (t *Tree) Detach(n *Node) error {
+	if n == t.root {
+		return fmt.Errorf("xmltree: cannot detach the root")
+	}
+	p := n.Parent
+	if p == nil {
+		return fmt.Errorf("xmltree: node %q is not attached", n.Label)
+	}
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			n.Parent = nil
+			t.renumber()
+			return nil
+		}
+	}
+	return fmt.Errorf("xmltree: node %q missing from its parent's children", n.Label)
+}
+
 // Renumber recomputes document order after structural edits.
 func (t *Tree) Renumber() { t.renumber() }
 

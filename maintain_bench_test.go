@@ -1,0 +1,60 @@
+package xpathviews_test
+
+// Maintenance benchmark report. Gated behind XPV_BENCH_MAINTAIN because
+// it runs minutes of repeated mutation + full-rematerialization cycles;
+// `make bench-maintain` sets the gate and regenerates BENCH_maintain.json.
+//
+// Beyond producing the report, this asserts the two claims the subsystem
+// is sold on: incremental maintenance beats rematerializing every view
+// by >= 5x for small-subtree mutations, and scoped (per-view generation)
+// plan invalidation keeps a strictly higher plan-cache hit rate than the
+// global-bump policy under an update storm.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"xpathviews/internal/experiments"
+)
+
+func TestMaintainBenchReport(t *testing.T) {
+	if os.Getenv("XPV_BENCH_MAINTAIN") == "" {
+		t.Skip("set XPV_BENCH_MAINTAIN=1 (or run `make bench-maintain`) to run the maintenance benchmark and write BENCH_maintain.json")
+	}
+	cfg := experiments.MaintainDefault()
+	report, rows, storm, err := experiments.MaintainReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, r := range rows {
+		t.Logf("%-14s %2d nodes: inc %9d ns/op, full %11d ns/op, speedup %6.1fx (%.1f dirty views/op)",
+			r.Name, r.SubtreeNodes, r.IncNsPerOp, r.FullNsPerOp, r.Speedup, r.DirtyViews)
+		if r.Speedup <= 1 {
+			t.Errorf("%s: incremental maintenance slower than full rematerialization (%.2fx)", r.Name, r.Speedup)
+		}
+	}
+	// The headline claim: small-subtree mutations must not pay anything
+	// near the full-rematerialization cost.
+	small := rows[0]
+	if small.Speedup < 5 {
+		t.Errorf("small-subtree speedup %.1fx, want >= 5x", small.Speedup)
+	}
+
+	scoped, global := storm[0], storm[1]
+	t.Logf("update storm: scoped %d/%d hits (%.2f), global %d/%d hits (%.2f)",
+		scoped.Hits, scoped.Queries, scoped.HitRate, global.Hits, global.Queries, global.HitRate)
+	if scoped.HitRate <= global.HitRate {
+		t.Errorf("scoped invalidation hit rate %.3f not above global %.3f", scoped.HitRate, global.HitRate)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_maintain.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_maintain.json")
+}

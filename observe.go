@@ -96,11 +96,19 @@ type servingMetrics struct {
 
 	slowQueries *telemetry.Counter // xpv_slow_queries_total
 
+	maintains        *telemetry.Counter // xpv_maintain_total
+	maintainErrs     *telemetry.Counter // xpv_maintain_errors_total
+	maintainDirty    *telemetry.Counter // xpv_maintain_dirty_views_total
+	maintainFragsAdd *telemetry.Counter // xpv_maintain_fragments_added_total
+	maintainFragsDel *telemetry.Counter // xpv_maintain_fragments_removed_total
+
 	latTotal   *telemetry.Histogram // xpv_answer_ns
 	latParse   *telemetry.Histogram // xpv_parse_ns
 	latFilter  *telemetry.Histogram // xpv_filter_ns
 	latSelect  *telemetry.Histogram // xpv_select_ns
 	latRewrite *telemetry.Histogram // xpv_rewrite_ns
+	// latMaintain records mutation call latency (see mutate.go).
+	latMaintain *telemetry.Histogram // xpv_maintain_ns
 }
 
 // bundles caches one servingMetrics per (registry, tenant label) so
@@ -152,11 +160,19 @@ func labeledMetricsFor(reg *telemetry.Registry, tenant string) *servingMetrics {
 		planNegative:  reg.Counter(name("xpv_plan_negative_served_total")),
 		rungFallbacks: reg.Counter(name("xpv_resilient_fallbacks_total")),
 		slowQueries:   reg.Counter(name("xpv_slow_queries_total")),
-		latTotal:      reg.Histogram(name("xpv_answer_ns")),
-		latParse:      reg.Histogram(name("xpv_parse_ns")),
-		latFilter:     reg.Histogram(name("xpv_filter_ns")),
-		latSelect:     reg.Histogram(name("xpv_select_ns")),
-		latRewrite:    reg.Histogram(name("xpv_rewrite_ns")),
+
+		maintains:        reg.Counter(name("xpv_maintain_total")),
+		maintainErrs:     reg.Counter(name("xpv_maintain_errors_total")),
+		maintainDirty:    reg.Counter(name("xpv_maintain_dirty_views_total")),
+		maintainFragsAdd: reg.Counter(name("xpv_maintain_fragments_added_total")),
+		maintainFragsDel: reg.Counter(name("xpv_maintain_fragments_removed_total")),
+
+		latTotal:    reg.Histogram(name("xpv_answer_ns")),
+		latParse:    reg.Histogram(name("xpv_parse_ns")),
+		latFilter:   reg.Histogram(name("xpv_filter_ns")),
+		latSelect:   reg.Histogram(name("xpv_select_ns")),
+		latRewrite:  reg.Histogram(name("xpv_rewrite_ns")),
+		latMaintain: reg.Histogram(name("xpv_maintain_ns")),
 	}
 	for r := range rungNames {
 		m.rungServed[r] = reg.Counter(name(fmt.Sprintf("xpv_resilient_rung_served_total{rung=%q}", rungNames[r])))

@@ -8,12 +8,18 @@ package xpathviews
 // once. The rewriting of §V still executes per call: it is the only
 // stage whose output depends on which fragments join today.
 //
-// Plans are invalidated lazily by a generation counter on System that
-// every view-set mutation bumps (AddView, RemoveView, CompactFilter,
-// EnableAttributePruning, and ApplyAdvice through AddView); a plan
-// written under an older generation is recomputed on its next touch, so
-// a cached selection can never serve a dropped view. A thundering herd
-// on a cold key coalesces onto one computation (singleflight).
+// Plans are invalidated lazily at two granularities. View-SET changes
+// (AddView, RemoveView, CompactFilter, EnableAttributePruning, and
+// ApplyAdvice through AddView) bump a global generation counter on
+// System: a plan written under an older generation is recomputed on its
+// next touch, so a cached selection can never serve a dropped view.
+// Document MUTATIONS (InsertSubtree/DeleteSubtree, see mutate.go) are
+// scoped: each plan records the (view, generation) pairs its selection
+// covers, maintenance bumps only the generations of views whose
+// fragments actually changed, and a validator callback run inside the
+// cache drops exactly the plans that touch a dirty view — the rest of
+// the cache survives the update storm. A thundering herd on a cold key
+// coalesces onto one computation (singleflight).
 
 import (
 	"errors"
@@ -23,6 +29,7 @@ import (
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/plancache"
 	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
 )
 
 // PlanCacheStats re-exports the plan cache's effectiveness counters:
@@ -55,6 +62,19 @@ type queryPlan struct {
 	// unanswerable queries — the common case in a fallback chain — skip
 	// filtering and selection too.
 	err error
+	// covers records the views the selection uses and their content
+	// generations at plan time; planValidLocked compares them against the
+	// live registry so document mutations only evict the plans they
+	// dirtied. Negative plans cover nothing: answerability is
+	// pattern-level and survives content changes.
+	covers []planCover
+}
+
+// planCover is one (view, generation) dependency of a cached plan.
+type planCover struct {
+	id  int
+	v   *views.View
+	gen uint64
 }
 
 // planInfo is the observable by-product of computing a plan: the
@@ -164,7 +184,7 @@ func (s *System) planLocked(q *pattern.Pattern, strat Strategy, b *budget.B, use
 	gen := s.planGen.Load()
 	key := planKey(strat, q.String())
 	computed := false
-	v, err, shared := s.plans.GetOrCompute(key, gen, func() (any, error) {
+	v, err, shared := s.plans.GetOrComputeValidated(key, gen, s.planValidator(), func() (any, error) {
 		computed = true
 		return s.computePlanLocked(q, strat, b, co)
 	})
@@ -196,7 +216,32 @@ func (s *System) computePlanLocked(q *pattern.Pattern, strat Strategy, b *budget
 		}
 		return nil, err
 	}
-	return &queryPlan{q: q, sel: sel, info: info}, nil
+	pl := &queryPlan{q: q, sel: sel, info: info}
+	for _, c := range sel.Covers {
+		pl.covers = append(pl.covers, planCover{id: c.View.ID, v: c.View, gen: c.View.Gen})
+	}
+	return pl, nil
+}
+
+// planValidator returns the cache validator for scoped invalidation: a
+// plan is live while every covered view is still registered as the same
+// object at the same content generation. Runs under the shard lock with
+// s.mu already held (read or write), which is the established lock
+// order; registry and generations only change under s.mu (write), so the
+// read here is stable.
+func (s *System) planValidator() func(any) bool {
+	return func(v any) bool {
+		pl, ok := v.(*queryPlan)
+		if !ok {
+			return false
+		}
+		for _, c := range pl.covers {
+			if s.registry.Get(c.id) != c.v || c.v.Gen != c.gen {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // putPlanAlias stores pl under an additional key (the raw source
@@ -206,10 +251,10 @@ func (s *System) putPlanAlias(key string, pl *queryPlan) {
 	s.plans.Put(key, s.planGen.Load(), pl)
 }
 
-// lookupPlan fetches a plan by key under the current generation. Called
-// under s.mu (read).
+// lookupPlan fetches a plan by key under the current generation and the
+// scoped-invalidation validator. Called under s.mu (read).
 func (s *System) lookupPlan(key string) (*queryPlan, bool) {
-	v, ok := s.plans.Get(key, s.planGen.Load())
+	v, ok := s.plans.GetValidated(key, s.planGen.Load(), s.planValidator())
 	if !ok {
 		return nil, false
 	}

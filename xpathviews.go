@@ -41,6 +41,7 @@ import (
 	"xpathviews/internal/plancache"
 	"xpathviews/internal/rewrite"
 	"xpathviews/internal/selection"
+	"xpathviews/internal/storage"
 	"xpathviews/internal/telemetry"
 	"xpathviews/internal/vfilter"
 	"xpathviews/internal/views"
@@ -105,8 +106,10 @@ type System struct {
 
 	bn *engine.BN
 	// bf is built lazily on the first BF query; bfOnce makes the
-	// initialization race-free under the read lock.
-	bfOnce sync.Once
+	// initialization race-free under the read lock. It is a pointer so
+	// mutations (under the write lock) can swap in a fresh Once when they
+	// invalidate the index (see resetEvalLocked in mutate.go).
+	bfOnce *sync.Once
 	bf     *engine.BF
 
 	// rec is the optional workload recorder (see advise.go). An atomic
@@ -127,6 +130,15 @@ type System struct {
 	obsPtr atomic.Pointer[servingMetrics]
 	// slow is the slow-query ring; disarmed (threshold 0) by default.
 	slow *telemetry.SlowLog
+
+	// wal, when attached, receives one record per applied mutation;
+	// walSeq is the last sequence number written. Guarded by mu (see
+	// mutate.go).
+	wal    *storage.Store
+	walSeq uint64
+	// scopedInval selects per-view-generation plan invalidation (the
+	// default) over a global generation bump per mutation. Guarded by mu.
+	scopedInval bool
 }
 
 // Open prepares a system over an in-memory document, deriving the FST
@@ -145,14 +157,16 @@ func OpenWithFST(doc *xmltree.Tree, fst *dewey.FST) (*System, error) {
 		return nil, fmt.Errorf("xpathviews: %w", err)
 	}
 	sys := &System{
-		doc:      doc,
-		enc:      enc,
-		fst:      fst,
-		registry: views.NewRegistry(doc, enc),
-		filter:   vfilter.New(),
-		bn:       engine.NewBN(doc),
-		plans:    plancache.New(0, 0),
-		slow:     telemetry.NewSlowLog(0),
+		doc:         doc,
+		enc:         enc,
+		fst:         fst,
+		registry:    views.NewRegistry(doc, enc),
+		filter:      vfilter.New(),
+		bn:          engine.NewBN(doc),
+		bfOnce:      &sync.Once{},
+		plans:       plancache.New(0, 0),
+		slow:        telemetry.NewSlowLog(0),
+		scopedInval: true,
 	}
 	sys.obsPtr.Store(metricsFor(telemetry.Default()))
 	return sys, nil
