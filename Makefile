@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo serve-demo statusz-demo bench-server bench-maintain update-demo
+.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo serve-demo statusz-demo bench-server bench-maintain update-demo bench-join gate-join
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a short fuzz smoke of the XPath parser.
@@ -31,6 +31,20 @@ bench:
 	$(GO) test -run='^$$' -bench='AnswerPlanCache|AnswerParallel' -benchmem -count=1 .
 	XPV_BENCH_REPORT=1 $(GO) test -run=TestServingBenchReport -count=1 -v .
 	$(MAKE) bench-maintain
+
+# bench-join runs the holistic-join kernel microbenchmarks (virtual-tree
+# build, sequential join, prefix-partitioned parallel join) with a
+# multi-core GOMAXPROCS so the parallel kernel actually fans out even
+# when invoked from a constrained shell. Profile the join path with
+# `go run ./cmd/xpvbench -join -cpuprofile join.pprof`.
+bench-join:
+	GOMAXPROCS=4 $(GO) test -run='^$$' -bench=BenchmarkJoinKernel -benchmem -count=1 ./internal/rewrite
+
+# gate-join replays the serving report's join measurement and fails if
+# join_ns at 8 views regressed more than 20% over the committed
+# BENCH_serving.json baseline. CI runs this on every push.
+gate-join:
+	XPV_JOIN_GATE=1 $(GO) test -run=TestJoinRegressionGate -count=1 -v .
 
 # bench-maintain runs the view-maintenance benchmark (incremental
 # maintenance vs full rematerialization across inserted-subtree sizes,

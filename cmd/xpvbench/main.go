@@ -4,16 +4,18 @@
 // Usage:
 //
 //	xpvbench [-quick] [-table3] [-fig8] [-fig9] [-fig10] [-fig11] [-fig12]
-//	         [-obs] [-maintain] [-cpuprofile out.prof] [-memprofile out.prof]
+//	         [-obs] [-maintain] [-join] [-cpuprofile out.prof] [-memprofile out.prof]
 //
 // With no figure flags, everything runs. -quick shrinks the workload for
 // a fast smoke run. -obs runs the telemetry-overhead benchmark instead
 // (hot serving path with metrics off / on / traced) and writes
 // BENCH_obs.json. -maintain runs the view-maintenance benchmark instead
 // (incremental vs full rematerialization across inserted-subtree sizes,
-// plus the scoped-vs-global plan-invalidation update storm).
-// -cpuprofile/-memprofile write pprof profiles of the run for digging
-// into the serving hot path (`go tool pprof`).
+// plus the scoped-vs-global plan-invalidation update storm). -join runs
+// the join-kernel driver instead (per-stage split, sequential vs
+// prefix-partitioned parallel join) — combine with -cpuprofile to
+// capture the join path. -cpuprofile/-memprofile write pprof profiles
+// of the run for digging into the serving hot path (`go tool pprof`).
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 	f12 := flag.Bool("fig12", false, "run Figure 12 (filtering time)")
 	obs := flag.Bool("obs", false, "run the telemetry-overhead benchmark and write BENCH_obs.json")
 	maintain := flag.Bool("maintain", false, "run the view-maintenance benchmark (incremental vs full remat, update storm)")
+	join := flag.Bool("join", false, "run the join-kernel driver (stage split, seq vs prefix-partitioned parallel join)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -78,6 +81,13 @@ func main() {
 	}
 	if *maintain {
 		if err := runMaintain(os.Stdout, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *join {
+		if err := runJoin(os.Stdout, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -54,7 +54,7 @@ trace:
   │  └─ select DUR algo=selection.heuristic candidates=N covers=N leaves_covered=N homs=N
   ├─ rewrite DUR views=N fragments_scanned=N
   │  ├─ refine DUR workers=N
-  │  ├─ join DUR fragments_joined=N
+  │  ├─ join DUR fragments_joined=N workers=N
   │  └─ extract DUR workers=N
   └─ collect DUR answers=N
 `

@@ -112,6 +112,21 @@ func (b *B) Step(n int) error {
 	return nil
 }
 
+// refund returns n unused, previously charged steps to the budget. Only
+// shards call it (on Close), undoing the tail of their last prepaid
+// chunk so the configured cap stays exact across a fan-out.
+func (b *B) refund(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	if b.track {
+		b.usedSteps.Add(-n)
+	}
+	if b.stepBound {
+		b.steps.Add(n)
+	}
+}
+
 // Hom consumes one homomorphism computation. Homomorphisms are chunky
 // enough that the context is polled on every call.
 func (b *B) Hom() error {

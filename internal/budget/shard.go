@@ -1,0 +1,82 @@
+package budget
+
+// Stepper is the charging surface the work loops actually need: both the
+// shared *B and a per-worker *Shard satisfy it, so a kernel can be
+// written once and run either under the global budget (sequential path)
+// or under a worker-local shard (parallel path). A nil *B or *Shard is a
+// valid, never-aborting Stepper.
+type Stepper interface {
+	Step(n int) error
+}
+
+// shardChunk is the default prepay granularity of a Shard: small enough
+// that a shard never strands more than a few dozen steps from sibling
+// workers, large enough that the shared atomic is touched ~two orders of
+// magnitude less often than a per-step charge would.
+const shardChunk = 64
+
+// Shard is a worker-local slice of a shared budget. Instead of debiting
+// the shared atomic counters on every Step — which serializes a worker
+// pool on one cache line — a shard prepays chunkSize steps from the
+// parent at a time and serves Step calls from its local balance. Close
+// refunds the unused remainder, so the parent's accounting is exact once
+// all shards of a fan-out have closed; mid-flight the parent may appear
+// up to workers×chunk steps poorer than true consumption, which only
+// ever makes exhaustion fire marginally early, never late.
+//
+// A Shard belongs to one goroutine and is not safe for concurrent use;
+// the parent *B it draws from is.
+type Shard struct {
+	parent *B
+	avail  int64
+	chunk  int64
+}
+
+// NewShard carves a worker-local shard off parent with the default chunk
+// size. A nil parent yields a never-aborting shard.
+func NewShard(parent *B) *Shard { return NewShardChunk(parent, shardChunk) }
+
+// NewShardChunk is NewShard with an explicit prepay chunk (tests shrink
+// it to force frequent parent traffic). chunk < 1 falls back to the
+// default.
+func NewShardChunk(parent *B, chunk int64) *Shard {
+	if chunk < 1 {
+		chunk = shardChunk
+	}
+	return &Shard{parent: parent, chunk: chunk}
+}
+
+// Step consumes n work units from the shard, drawing further chunks from
+// the parent as the local balance runs dry. The parent's context is
+// polled by the parent's own Step on every chunk draw, so cancellation
+// latency is bounded by the chunk size.
+func (s *Shard) Step(n int) error {
+	if s == nil || s.parent == nil {
+		return nil
+	}
+	for int64(n) > s.avail {
+		draw := s.chunk
+		if int64(n)-s.avail > draw {
+			draw = int64(n) - s.avail
+		}
+		if err := s.parent.Step(int(draw)); err != nil {
+			return err
+		}
+		s.avail += draw
+	}
+	s.avail -= int64(n)
+	return nil
+}
+
+// Close refunds the shard's unused prepaid steps to the parent. Call it
+// when the worker's slice of the fan-out is done (success or failure);
+// after Close the shard must not be used again.
+func (s *Shard) Close() {
+	if s == nil || s.parent == nil {
+		return
+	}
+	if s.avail > 0 {
+		s.parent.refund(s.avail)
+		s.avail = 0
+	}
+}

@@ -1,0 +1,130 @@
+package budget
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestShardExactAccounting: shards draw from the parent in chunks but
+// Close refunds the unused balance, so as long as the budget is not
+// exhausted the parent's spend is exactly the work performed,
+// independent of how it was sharded.
+func TestShardExactAccounting(t *testing.T) {
+	b := New(nil, 1000, 0)
+	b.EnableTracking()
+	sh := NewShard(b)
+	for i := 0; i < 70; i++ { // crosses one chunk boundary
+		if err := sh.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Close()
+	if steps, _ := b.Spent(); steps != 70 {
+		t.Fatalf("parent charged %d steps after shard close, want 70", steps)
+	}
+	if err := b.Step(930); err != nil {
+		t.Fatalf("remaining budget rejected: %v", err)
+	}
+	if err := b.Step(1); err == nil {
+		t.Fatal("budget exceeded its limit after shard refund")
+	}
+}
+
+// TestShardExhaustion: a shard surfaces the parent's exhaustion as
+// ErrBudget; the chunked prepay may make it fire early, but by less than
+// one chunk — never late.
+func TestShardExhaustion(t *testing.T) {
+	b := New(nil, 100, 0)
+	sh := NewShard(b)
+	defer sh.Close()
+	n := 0
+	var err error
+	for ; n < 1000; n++ {
+		if err = sh.Step(1); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("shard never hit the parent's 100-step limit")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("shard surfaced %v, want ErrBudget", err)
+	}
+	if n > 100 || n <= 100-shardChunk {
+		t.Fatalf("shard admitted %d steps of a 100-step budget (chunk %d)", n, shardChunk)
+	}
+}
+
+// TestShardSmallChunkExact: with chunk 1 the prepay never overshoots, so
+// a shard admits exactly the configured cap.
+func TestShardSmallChunkExact(t *testing.T) {
+	b := New(nil, 100, 0)
+	sh := NewShardChunk(b, 1)
+	defer sh.Close()
+	n := 0
+	for ; n < 1000; n++ {
+		if sh.Step(1) != nil {
+			break
+		}
+	}
+	if n != 100 {
+		t.Fatalf("chunk-1 shard admitted %d steps of a 100-step budget", n)
+	}
+}
+
+// TestShardConcurrent: many shards hammering one parent never admit more
+// than the global cap, and chunking strands less than one chunk per
+// worker.
+func TestShardConcurrent(t *testing.T) {
+	const (
+		limit   = 10_000
+		workers = 8
+	)
+	b := New(nil, limit, 0)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		admitted int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := NewShard(b)
+			defer sh.Close()
+			var n int64
+			for sh.Step(3) == nil {
+				n += 3
+			}
+			mu.Lock()
+			admitted += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if admitted > limit {
+		t.Fatalf("shards admitted %d steps of a %d-step budget", admitted, limit)
+	}
+	if admitted < limit-workers*shardChunk {
+		t.Fatalf("shards stranded too much: admitted %d of %d with %d workers (chunk %d)",
+			admitted, limit, workers, shardChunk)
+	}
+}
+
+// TestNilShardParent: a shard over a nil budget never aborts and Close
+// is a no-op — the sequential join path passes nil budgets freely.
+func TestNilShardParent(t *testing.T) {
+	sh := NewShard(nil)
+	for i := 0; i < 10_000; i++ {
+		if err := sh.Step(7); err != nil {
+			t.Fatalf("nil-parent shard aborted: %v", err)
+		}
+	}
+	sh.Close()
+	var nilSh *Shard
+	if err := nilSh.Step(1); err != nil {
+		t.Fatalf("nil *Shard aborted: %v", err)
+	}
+	nilSh.Close()
+}

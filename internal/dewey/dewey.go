@@ -107,6 +107,22 @@ func IsAncestor(a, b Code) bool { return len(a) < len(b) && IsPrefix(a, b) }
 // IsParent reports whether a encodes the parent of b's node.
 func IsParent(a, b Code) bool { return len(a)+1 == len(b) && IsPrefix(a, b) }
 
+// CommonPrefixLen returns the number of leading components a and b
+// share. The virtual-tree build uses it to pop its rightmost-path stack
+// in one O(min depth) scan per merged code instead of re-checking
+// IsPrefix against every popped level.
+func CommonPrefixLen(a, b Code) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
 // CommonPrefix returns the longest common prefix of a and b, i.e. the code
 // of the lowest common ancestor.
 func CommonPrefix(a, b Code) Code {

@@ -1,0 +1,54 @@
+package rewrite
+
+import (
+	"testing"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xpath"
+)
+
+// TestRewriteSteadyStateAllocs is the allocation regression guard for
+// the rewrite hot path. With the join skeleton precomputed and every
+// pool warm, one sequential rewrite of the paper's running example sits
+// at ~26 heap allocations (Result, answer slice, compensating-pattern
+// bits). The bound leaves a little headroom for GC-timed pool evictions
+// but fails if per-answer work creeps back in — the old extract dedup
+// alone cost one Code.String() key per answer plus a map, and the old
+// joiner allocated a closure per backtracking probe.
+func TestRewriteSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector distorts allocation counts")
+	}
+	tree := paperdata.BookTree()
+	enc, err := dewey.Encode(tree, paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := views.NewRegistry(tree, enc)
+	reg.Add(xpath.MustParse(paperdata.ViewV1), 0)
+	reg.Add(xpath.MustParse(paperdata.ViewV2), 0)
+	q := xpath.MustParse(paperdata.QueryE)
+	sel, err := selection.Minimum(q, reg.ViewList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := PlanJoin(q, sel.Covers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := ExecuteOptions(q, sel, enc.FST(), nil, Options{MaxWorkers: 1, Plan: jp}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		run() // warm vtPool, joinerPool, refineScratchPool
+	}
+	if allocs := testing.AllocsPerRun(200, run); allocs > 32 {
+		t.Fatalf("steady-state rewrite allocates %.1f objects/op, want <= 32 "+
+			"(per-answer dedup keys or per-probe closures have crept back in)", allocs)
+	}
+}

@@ -1,11 +1,108 @@
 package rewrite
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
 	"xpathviews/internal/budget"
+	"xpathviews/internal/dewey"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/selection"
 	"xpathviews/internal/views"
 )
+
+// JoinPlan is the data-independent skeleton of the holistic join for one
+// (query, selection) pair: the upper twig (Q restricted to the union of
+// the root→X_i paths), the Δ-path marking, the per-node landing views,
+// and the rigid-anchor pins with their targets resolved to dense query-
+// node indexes. Everything here depends only on the plan — never on
+// which fragments exist today — so the serving layer memoizes it in the
+// plan cache and every query that hits the plan skips the skeleton
+// rebuild (and its per-query map) entirely.
+type JoinPlan struct {
+	// q is the pattern the skeleton was computed against; ExecuteOptions
+	// recomputes the plan if handed a different pattern object (covers
+	// index into q's nodes, so identity is the correctness condition).
+	q        *pattern.Pattern
+	deltaIdx int
+
+	rootIdx int
+	labels  []string       // query node labels by index
+	axes    []pattern.Axis // query node axes by index
+
+	keep      []bool    // query node participates in the upper twig
+	deltaPath []bool    // query node lies on root→X_Δ
+	landAt    [][]int32 // view indexes landing on the query node
+	keptKids  [][]int32 // kept children (as node indexes) per query node
+	pins      [][]pinRef
+}
+
+// pinRef is a selection.Pin with its target resolved to a query-node
+// index, so pin validation in the join's inner loop is an array load
+// instead of a map lookup.
+type pinRef struct {
+	y int32 // query-node index of Pin.Y
+	k int32 // Pin.K
+}
+
+// DeltaIndex exposes the chosen Δ-view's position in the selection's
+// cover list (Explain and the bench harness report it).
+func (p *JoinPlan) DeltaIndex() int { return p.deltaIdx }
+
+// PlanJoin computes the join skeleton for q under the selection's
+// covers, choosing the Δ-view. It fails only when the selection has no
+// Δ-view — the same condition ExecuteOptions rejects.
+func PlanJoin(q *pattern.Pattern, covers []*selection.Cover) (*JoinPlan, error) {
+	deltaIdx := chooseDelta(covers)
+	if deltaIdx < 0 {
+		return nil, fmt.Errorf("rewrite: no Δ-view in selection")
+	}
+	nodes := q.Nodes()
+	n := len(nodes)
+	idx := make(map[*pattern.Node]int, n)
+	for i, qn := range nodes {
+		idx[qn] = i
+	}
+	p := &JoinPlan{
+		q:         q,
+		deltaIdx:  deltaIdx,
+		rootIdx:   idx[q.Root],
+		labels:    make([]string, n),
+		axes:      make([]pattern.Axis, n),
+		keep:      make([]bool, n),
+		deltaPath: make([]bool, n),
+		landAt:    make([][]int32, n),
+		keptKids:  make([][]int32, n),
+		pins:      make([][]pinRef, len(covers)),
+	}
+	for i, qn := range nodes {
+		p.labels[i] = qn.Label
+		p.axes[i] = qn.Axis
+	}
+	for vi, c := range covers {
+		for qn := c.X; qn != nil; qn = qn.Parent {
+			p.keep[idx[qn]] = true
+		}
+		xi := idx[c.X]
+		p.landAt[xi] = append(p.landAt[xi], int32(vi))
+		for _, pin := range c.Pins {
+			p.pins[vi] = append(p.pins[vi], pinRef{y: int32(idx[pin.Y]), k: int32(pin.K)})
+		}
+	}
+	for qn := covers[deltaIdx].X; qn != nil; qn = qn.Parent {
+		p.deltaPath[idx[qn]] = true
+	}
+	for i, qn := range nodes {
+		for _, c := range qn.Children {
+			ci := idx[c]
+			if p.keep[ci] {
+				p.keptKids[i] = append(p.keptKids[i], int32(ci))
+			}
+		}
+	}
+	return p, nil
+}
 
 // joiner matches the query's upper pattern on the virtual tree, once per
 // Δ-view fragment, reusing all scratch state across fragments. The upper
@@ -13,41 +110,74 @@ import (
 // below an X_i is already verified inside fragments by refinement, and
 // predicate branches discharged by rigid guarantees are enforced as pins
 // rather than matched structurally.
+//
+// Per-fragment scratch is epoch-stamped: instead of clearing the O(|Q|)
+// assignment array before every fragment, embed bumps an epoch counter
+// and a slot counts as assigned only when its stamp matches — resetting
+// state is a single increment. Instances are pooled (joinerPool) so a
+// steady-state join allocates nothing, and the hot placement loops are
+// plain methods: the closure-per-node-visit of the old backtracker was
+// one heap allocation per candidate probe.
 type joiner struct {
-	q      *pattern.Pattern
-	qIdx   map[*pattern.Node]int
-	qNodes []*pattern.Node
-	vt     *vtree
+	p  *JoinPlan
+	vt *vtree
 
-	keep      []bool  // query node participates in the upper twig
-	deltaPath []bool  // query node lies on root→X_Δ
-	landAt    [][]int // view indexes landing on the query node
-	keptKids  [][]int // kept children (as qIdx) per query node
+	epoch    uint32
+	assign   []int32  // by query-node index; valid when stamp matches
+	assignEp []uint32 // epoch stamp per assign slot
 
-	covers   []*selection.Cover
-	pins     [][]selection.Pin
-	deltaIdx int
+	chain     []int32 // chain[d] = depth-d ancestor of the anchor
+	deltaFrag *views.Fragment
 
-	// per-fragment scratch
-	assign     []int32 // by qIdx; -1 unassigned
-	fragChoice []*views.Fragment
-	chain      []int32
-	deltaFrag  *views.Fragment
-
-	// budget aborts the backtracking search; err sticks once set.
-	b   *budget.B
+	// budget aborts the backtracking search; err sticks once set. b is a
+	// budget.Stepper so the same kernel runs under the shared budget
+	// (sequential path) or a per-worker shard (parallel path).
+	b   budget.Stepper
 	err error
 }
 
-// joinUpper returns the Δ-view fragments that participate in at least one
-// embedding of the upper pattern in the virtual tree, charging one budget
-// step per embedding attempt.
-func joinUpper(q *pattern.Pattern, covers []*selection.Cover, refined []refinedView, vt *vtree, anchors [][]int32, deltaIdx int, b *budget.B) ([]*views.Fragment, error) {
-	j := newJoiner(q, covers, vt, deltaIdx)
-	j.b = b
-	out := make([]*views.Fragment, 0, len(refined[deltaIdx].frags))
-	for fi, frag := range refined[deltaIdx].frags {
-		if j.embed(frag, anchors[deltaIdx][fi]) {
+// joinerPool recycles joiners with their grown scratch arrays, like
+// vtPool does for the arena.
+var joinerPool = sync.Pool{New: func() any { return &joiner{} }}
+
+func acquireJoiner(p *JoinPlan, vt *vtree, b budget.Stepper) *joiner {
+	j := joinerPool.Get().(*joiner)
+	j.p, j.vt, j.b, j.err = p, vt, b, nil
+	if j.b == nil {
+		j.b = (*budget.B)(nil) // nil *B is a valid, never-aborting Stepper
+	}
+	n := len(p.labels)
+	if cap(j.assign) < n {
+		j.assign = make([]int32, n)
+		j.assignEp = make([]uint32, n)
+	}
+	j.assign = j.assign[:n]
+	j.assignEp = j.assignEp[:n]
+	// Stale stamps from an earlier (possibly longer) query must not
+	// collide with this query's epochs: restart the epoch space.
+	for i := range j.assignEp {
+		j.assignEp[i] = 0
+	}
+	j.epoch = 0
+	return j
+}
+
+func releaseJoiner(j *joiner) {
+	j.p, j.vt, j.b, j.deltaFrag, j.err = nil, nil, nil, nil, nil
+	joinerPool.Put(j)
+}
+
+// joinUpper returns the Δ-view fragments that participate in at least
+// one embedding of the upper pattern in the virtual tree, charging one
+// budget step per embedding attempt.
+func joinUpper(p *JoinPlan, refined []refinedView, vt *vtree, anchors [][]int32, b budget.Stepper) ([]*views.Fragment, error) {
+	j := acquireJoiner(p, vt, b)
+	defer releaseJoiner(j)
+	frags := refined[p.deltaIdx].frags
+	anch := anchors[p.deltaIdx]
+	out := make([]*views.Fragment, 0, len(frags))
+	for fi, frag := range frags {
+		if j.embed(frag, anch[fi]) {
 			out = append(out, frag)
 		}
 		if j.err != nil {
@@ -57,48 +187,189 @@ func joinUpper(q *pattern.Pattern, covers []*selection.Cover, refined []refinedV
 	return out, nil
 }
 
-func newJoiner(q *pattern.Pattern, covers []*selection.Cover, vt *vtree, deltaIdx int) *joiner {
-	j := &joiner{q: q, covers: covers, vt: vt, deltaIdx: deltaIdx, qNodes: q.Nodes()}
-	n := len(j.qNodes)
-	j.qIdx = make(map[*pattern.Node]int, n)
-	for i, qn := range j.qNodes {
-		j.qIdx[qn] = i
+// joinPartsPerWorker is the partition fan-out per worker: enough spans
+// that dynamic scheduling evens out skewed document regions, few enough
+// that span bookkeeping stays negligible.
+const joinPartsPerWorker = 4
+
+// joinParGrain is the Δ-fragment count one join worker should own at
+// minimum; below 2×grain the parallel kernel is not engaged. A package
+// variable so the differential tests can force tiny parallel joins.
+var joinParGrain = 64
+
+// fragSpan is one contiguous run of Δ-fragments sharing a Dewey code
+// prefix.
+type fragSpan struct{ lo, hi int }
+
+// partitionByPrefix splits the (code-sorted) Δ-fragment list into
+// contiguous spans of equal code prefix, deepening the prefix length
+// until at least minParts spans exist or every fragment stands alone.
+// Starting at the top-level component and deepening adaptively handles
+// documents where all fragments live under one top-level subtree (every
+// XMark person is under /site/people): a fixed top-level split would
+// yield a single span there.
+func partitionByPrefix(frags []*views.Fragment, minParts int) []fragSpan {
+	n := len(frags)
+	if n == 0 {
+		return nil
 	}
-	j.keep = make([]bool, n)
-	j.deltaPath = make([]bool, n)
-	j.landAt = make([][]int, n)
-	j.keptKids = make([][]int, n)
-	j.assign = make([]int32, n)
-	for i := range j.assign {
-		j.assign[i] = -1
-	}
-	j.fragChoice = make([]*views.Fragment, len(covers))
-	j.pins = make([][]selection.Pin, len(covers))
-	for i, c := range covers {
-		for qn := c.X; qn != nil; qn = qn.Parent {
-			j.keep[j.qIdx[qn]] = true
-		}
-		j.landAt[j.qIdx[c.X]] = append(j.landAt[j.qIdx[c.X]], i)
-		j.pins[i] = c.Pins
-	}
-	for qn := covers[deltaIdx].X; qn != nil; qn = qn.Parent {
-		j.deltaPath[j.qIdx[qn]] = true
-	}
-	for i, qn := range j.qNodes {
-		for _, c := range qn.Children {
-			ci := j.qIdx[c]
-			if j.keep[ci] {
-				j.keptKids[i] = append(j.keptKids[i], ci)
-			}
+	maxLen := 0
+	for _, f := range frags {
+		if len(f.Code) > maxLen {
+			maxLen = len(f.Code)
 		}
 	}
-	return j
+	for depth := 2; ; depth++ {
+		parts := spansAtPrefix(frags, depth)
+		if len(parts) >= minParts || len(parts) == n || depth >= maxLen {
+			return coalesceSpans(parts, minParts)
+		}
+	}
 }
+
+// coalesceSpans caps the schedule at ~2×minParts work items by merging
+// adjacent spans. The adaptive deepening can overshoot from too few
+// spans straight to per-fragment singletons (one step deeper separates
+// every person under the shared /site/people prefix); thousands of
+// one-fragment spans would cost an atomic claim each and schedule no
+// better than ~2×minParts balanced ones. Merging only adjacent spans
+// keeps every group a contiguous code range, preserving the per-worker
+// arena locality the partition exists for.
+func coalesceSpans(parts []fragSpan, minParts int) []fragSpan {
+	maxParts := 2 * minParts
+	if len(parts) <= maxParts {
+		return parts
+	}
+	total := parts[len(parts)-1].hi - parts[0].lo
+	per := (total + maxParts - 1) / maxParts
+	out := parts[:0] // in-place: write index never passes the read index
+	cur := parts[0]
+	for _, sp := range parts[1:] {
+		if cur.hi-cur.lo >= per {
+			out = append(out, cur)
+			cur = sp
+			continue
+		}
+		cur.hi = sp.hi
+	}
+	return append(out, cur)
+}
+
+// spansAtPrefix groups consecutive fragments whose codes agree on their
+// first depth components (codes shorter than depth group only with equal
+// codes). One pass: the list is sorted, so equal prefixes are adjacent.
+func spansAtPrefix(frags []*views.Fragment, depth int) []fragSpan {
+	var parts []fragSpan
+	lo := 0
+	for i := 1; i < len(frags); i++ {
+		a, b := frags[i-1].Code, frags[i].Code
+		la, lb := len(a), len(b)
+		if la > depth {
+			la = depth
+		}
+		if lb > depth {
+			lb = depth
+		}
+		if la != lb || dewey.CommonPrefixLen(a, b) < la {
+			parts = append(parts, fragSpan{lo, i})
+			lo = i
+		}
+	}
+	return append(parts, fragSpan{lo, len(frags)})
+}
+
+// joinParallel is joinUpper fanned out over a worker pool: the Δ-view's
+// fragments are partitioned by Dewey code prefix into contiguous spans
+// (each worker walks one document region at a time, staying local in the
+// shared read-only arena), workers claim spans dynamically, each runs
+// its own pooled joiner under a budget shard, and survivors are recorded
+// in a per-fragment bitmap so the merged output is in exactly the
+// sequential path's order. Per-fragment embeds share no state, so the
+// result set is identical to joinUpper's.
+func joinParallel(p *JoinPlan, refined []refinedView, vt *vtree, anchors [][]int32, b *budget.B, workers int) ([]*views.Fragment, error) {
+	frags := refined[p.deltaIdx].frags
+	anch := anchors[p.deltaIdx]
+	parts := partitionByPrefix(frags, workers*joinPartsPerWorker)
+	ok := make([]bool, len(frags))
+	var (
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		stop    atomic.Bool
+		errSlot atomic.Pointer[error]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := budget.NewShard(b)
+			defer sh.Close()
+			j := acquireJoiner(p, vt, sh)
+			defer releaseJoiner(j)
+			for {
+				pi := int(next.Add(1)) - 1
+				if pi >= len(parts) || stop.Load() {
+					return
+				}
+				sp := parts[pi]
+				for fi := sp.lo; fi < sp.hi; fi++ {
+					if j.embed(frags[fi], anch[fi]) {
+						ok[fi] = true
+					}
+					if j.err != nil {
+						e := new(error)
+						*e = j.err
+						errSlot.CompareAndSwap(nil, e)
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := errSlot.Load(); e != nil {
+		return nil, *e
+	}
+	out := make([]*views.Fragment, 0, len(frags))
+	for fi, joined := range ok {
+		if joined {
+			out = append(out, frags[fi])
+		}
+	}
+	return out, nil
+}
+
+// beginEmbed opens a fresh per-fragment epoch; all assignment slots
+// become unassigned in O(1).
+func (j *joiner) beginEmbed() {
+	j.epoch++
+	if j.epoch == 0 { // wrapped: stale stamps could collide, hard-reset
+		for i := range j.assignEp {
+			j.assignEp[i] = 0
+		}
+		j.epoch = 1
+	}
+}
+
+func (j *joiner) assigned(qi int32) (int32, bool) {
+	if j.assignEp[qi] != j.epoch {
+		return -1, false
+	}
+	return j.assign[qi], true
+}
+
+func (j *joiner) setAssign(qi int, v int32) {
+	j.assign[qi] = v
+	j.assignEp[qi] = j.epoch
+}
+
+func (j *joiner) clearAssign(qi int) { j.assignEp[qi] = 0 }
 
 // embed reports whether the upper pattern embeds with the Δ landing node
 // pinned to this fragment's anchor node.
 func (j *joiner) embed(frag *views.Fragment, anchor int32) bool {
 	j.deltaFrag = frag
+	j.beginEmbed()
 	// chain[d] = depth-d ancestor of anchor; chain[0] is the document
 	// root. Reuse the backing array.
 	depth := j.vt.depth(anchor)
@@ -109,19 +380,13 @@ func (j *joiner) embed(frag *views.Fragment, anchor int32) bool {
 	for v := anchor; v >= 0; v = j.vt.nodes[v].parent {
 		j.chain[j.vt.depth(v)] = v
 	}
-	for i := range j.assign {
-		j.assign[i] = -1
-	}
-	for i := range j.fragChoice {
-		j.fragChoice[i] = nil
-	}
 	// The query root is on the Δ-path, so it maps onto the anchor chain:
 	// a '/'-rooted query at chain[0], a '//'-rooted one anywhere on it.
-	rootIdx := j.qIdx[j.q.Root]
-	if !j.keep[rootIdx] {
+	rootIdx := j.p.rootIdx
+	if !j.p.keep[rootIdx] {
 		return false
 	}
-	if j.q.Root.Axis == pattern.Child {
+	if j.p.axes[rootIdx] == pattern.Child {
 		return j.try(rootIdx, j.chain[0])
 	}
 	for _, v := range j.chain {
@@ -134,14 +399,14 @@ func (j *joiner) embed(frag *views.Fragment, anchor int32) bool {
 
 // pinsOK validates every pin of view vi whose target is already assigned
 // against the candidate fragment.
-func (j *joiner) pinsOK(vi int, frag *views.Fragment) bool {
-	for _, p := range j.pins[vi] {
-		w := j.assign[j.qIdx[p.Y]]
-		if w < 0 {
+func (j *joiner) pinsOK(vi int32, frag *views.Fragment) bool {
+	for _, p := range j.p.pins[vi] {
+		w, ok := j.assigned(p.y)
+		if !ok {
 			continue // ancestors are always assigned before descendants
 		}
 		wc := j.vt.nodes[w].code
-		want := len(frag.Code) - p.K
+		want := len(frag.Code) - int(p.k)
 		if want < 1 || len(wc) != want || !isPrefixCode(wc, frag.Code) {
 			return false
 		}
@@ -161,6 +426,25 @@ func isPrefixCode(w, c []uint32) bool {
 	return true
 }
 
+// pickFrag returns the first fragment of view vi rooted at arena node at
+// whose pins validate (for the Δ-view, only the fragment under test
+// itself qualifies — its landing node is pinned to the anchor).
+func (j *joiner) pickFrag(at, vi int32) *views.Fragment {
+	for e := j.vt.nodes[at].fragHead; e >= 0; e = j.vt.fragEntries[e].next {
+		fe := &j.vt.fragEntries[e]
+		if fe.view != vi {
+			continue
+		}
+		if int(vi) == j.p.deltaIdx && fe.frag != j.deltaFrag {
+			continue
+		}
+		if j.pinsOK(vi, fe.frag) {
+			return fe.frag
+		}
+	}
+	return nil
+}
+
 // try assigns query node qi to arena node at and recursively places its
 // kept children; on failure all assignments made beneath are rolled back.
 func (j *joiner) try(qi int, at int32) bool {
@@ -170,108 +454,89 @@ func (j *joiner) try(qi int, at int32) bool {
 	if j.err = j.b.Step(1); j.err != nil {
 		return false
 	}
-	qn := j.qNodes[qi]
-	if qn.Label != pattern.Wildcard && qn.Label != j.vt.nodes[at].label {
+	if lbl := j.p.labels[qi]; lbl != pattern.Wildcard && lbl != j.vt.nodes[at].label {
 		return false
 	}
-	j.assign[qi] = at
-	var chosen int // count of fragChoice entries set here
-	fail := func() bool {
-		for _, vi := range j.landAt[qi][:chosen] {
-			j.fragChoice[vi] = nil
+	j.setAssign(qi, at)
+	for _, vi := range j.p.landAt[qi] {
+		if j.pickFrag(at, vi) == nil {
+			j.clearAssign(qi)
+			return false
 		}
-		j.assign[qi] = -1
-		return false
-	}
-	for _, vi := range j.landAt[qi] {
-		var pick *views.Fragment
-		j.vt.fragsAt(at, vi, func(f *views.Fragment) bool {
-			if vi == j.deltaIdx && f != j.deltaFrag {
-				return true
-			}
-			if j.pinsOK(vi, f) {
-				pick = f
-				return false
-			}
-			return true
-		})
-		if pick == nil {
-			return fail()
-		}
-		j.fragChoice[vi] = pick
-		chosen++
 	}
 	if !j.placeKids(qi, at, 0) {
-		return fail()
+		j.clearAssign(qi)
+		return false
 	}
 	return true
 }
 
 // placeKids places the kept children of qi starting from index k.
 func (j *joiner) placeKids(qi int, at int32, k int) bool {
-	kids := j.keptKids[qi]
+	kids := j.p.keptKids[qi]
 	if k == len(kids) {
 		return true
 	}
 	ci := kids[k]
-	c := j.qNodes[ci]
-	place := func(v int32) bool {
-		if !j.try(ci, v) {
-			return false
-		}
-		if j.placeKids(qi, at, k+1) {
-			return true
-		}
-		j.unassign(ci)
-		return false
-	}
-	if j.deltaPath[ci] {
-		// c maps onto the anchor chain only; its parent must itself sit
+	if j.p.deltaPath[ci] {
+		// ci maps onto the anchor chain only; its parent must itself sit
 		// on the chain.
 		d := j.vt.depth(at)
 		if d >= len(j.chain) || j.chain[d] != at {
 			return false
 		}
-		if c.Axis == pattern.Child {
-			return d+1 < len(j.chain) && place(j.chain[d+1])
+		if j.p.axes[ci] == pattern.Child {
+			return d+1 < len(j.chain) && j.placeAt(ci, j.chain[d+1], qi, at, k)
 		}
 		for dd := d + 1; dd < len(j.chain); dd++ {
-			if place(j.chain[dd]) {
+			if j.placeAt(ci, j.chain[dd], qi, at, k) {
 				return true
 			}
 		}
 		return false
 	}
-	if c.Axis == pattern.Child {
+	if j.p.axes[ci] == pattern.Child {
 		for v := j.vt.nodes[at].firstChild; v >= 0; v = j.vt.nodes[v].nextSib {
-			if place(v) {
+			if j.placeAt(ci, v, qi, at, k) {
 				return true
 			}
 		}
 		return false
 	}
-	var desc func(v int32) bool
-	desc = func(v int32) bool {
-		for ch := j.vt.nodes[v].firstChild; ch >= 0; ch = j.vt.nodes[ch].nextSib {
-			if place(ch) || desc(ch) {
-				return true
-			}
-		}
+	return j.placeDesc(ci, at, qi, at, k)
+}
+
+// placeAt tries child query node ci at arena node v, then continues with
+// the remaining siblings of the placement in progress.
+func (j *joiner) placeAt(ci, v int32, qi int, at int32, k int) bool {
+	if !j.try(int(ci), v) {
 		return false
 	}
-	return desc(at)
+	if j.placeKids(qi, at, k+1) {
+		return true
+	}
+	j.unassign(int(ci))
+	return false
+}
+
+// placeDesc scans the arena subtree below root for a placement of ci
+// (descendant axis).
+func (j *joiner) placeDesc(ci, root int32, qi int, at int32, k int) bool {
+	for ch := j.vt.nodes[root].firstChild; ch >= 0; ch = j.vt.nodes[ch].nextSib {
+		if j.placeAt(ci, ch, qi, at, k) || j.placeDesc(ci, ch, qi, at, k) {
+			return true
+		}
+	}
+	return false
 }
 
 // unassign rolls back the subtree assignment rooted at query node qi.
 func (j *joiner) unassign(qi int) {
-	if !j.keep[qi] {
+	if !j.p.keep[qi] {
 		return
 	}
-	j.assign[qi] = -1
-	for _, vi := range j.landAt[qi] {
-		j.fragChoice[vi] = nil
-	}
-	for _, ci := range j.keptKids[qi] {
-		j.unassign(ci)
+	j.clearAssign(qi)
+	for _, ci := range j.p.keptKids[qi] {
+		j.unassign(int(ci))
 	}
 }

@@ -1,0 +1,102 @@
+package rewrite
+
+// Microbenchmarks for the holistic-join kernel in isolation: the
+// loser-tree virtual-tree build, the sequential upper-pattern join, and
+// the prefix-partitioned parallel join at several worker counts. Run via
+// `make bench-join` (which raises GOMAXPROCS so the parallel variants
+// actually fan out) or profile with `go run ./cmd/xpvbench -join
+// -cpuprofile join.pprof`.
+
+import (
+	"testing"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xpath"
+)
+
+// joinBenchEnv refines an 8-view selection over a scale-1.0 XMark
+// document once; the refined streams are read-only for the join, so
+// every benchmark iteration reuses them.
+type joinBenchEnv struct {
+	fst     *dewey.FST
+	plan    *JoinPlan
+	refined []refinedView
+}
+
+func newJoinBenchEnv(tb testing.TB) *joinBenchEnv {
+	tb.Helper()
+	doc := xmark.Generate(xmark.Config{Scale: 1.0, Seed: 2008})
+	enc, fst, err := dewey.EncodeTree(doc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reg := views.NewRegistry(doc, enc)
+	for _, v := range []string{
+		"//person/name",
+		"//person/emailaddress",
+		"//person/phone",
+		"//person/address/city",
+		"//person/homepage",
+		"//person/creditcard",
+		"//person/profile/age",
+		"//person/watches/watch",
+	} {
+		if _, err := reg.Add(xpath.MustParse(v), 0); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	q := pattern.Minimize(xpath.MustParse(
+		"//person[emailaddress][phone][address/city][homepage][creditcard][profile/age][watches/watch]/name"))
+	sel, err := selection.Minimum(q, reg.ViewList)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	jp, err := PlanJoin(q, sel.Covers)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	refined := make([]refinedView, len(sel.Covers))
+	for i, c := range sel.Covers {
+		if err := refineView(q, c, fst, &refined[i], nil, nil); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return &joinBenchEnv{fst: fst, plan: jp, refined: refined}
+}
+
+func BenchmarkJoinKernel(b *testing.B) {
+	env := newJoinBenchEnv(b)
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vt, _ := buildVirtual(env.fst, env.refined)
+			putVtree(vt)
+		}
+	})
+	b.Run("join-seq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vt, anchors := buildVirtual(env.fst, env.refined)
+			if _, err := joinUpper(env.plan, env.refined, vt, anchors, nil); err != nil {
+				b.Fatal(err)
+			}
+			putVtree(vt)
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run("join-par"+string(rune('0'+workers)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				vt, anchors := buildVirtual(env.fst, env.refined)
+				if _, err := joinParallel(env.plan, env.refined, vt, anchors, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+				putVtree(vt)
+			}
+		})
+	}
+}

@@ -1,0 +1,453 @@
+package rewrite
+
+// White-box tests for the holistic join kernel: the loser-tree k-way
+// merge (with its galloping fast path), the Dewey-prefix partitioner
+// behind the parallel join, the epoch-stamped joiner scratch, and the
+// sort-and-compact answer dedup. The differential tests here force the
+// parallel join onto tiny fixtures by overriding joinParGrain — the
+// black-box tests in parallel_test.go only reach it on large documents.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/pattern"
+	"xpathviews/internal/selection"
+	"xpathviews/internal/views"
+	"xpathviews/internal/xmark"
+	"xpathviews/internal/xpath"
+)
+
+// mergeStreams runs the exact merge loop buildVirtual uses (tournament
+// build, gallop against the path-minimum challenger, replay) and returns
+// the emitted (stream, code) sequence.
+func mergeStreams(refined []refinedView) (streams []int32, codes []dewey.Code) {
+	k := len(refined)
+	m := codeMerger{refined: refined, heads: make([]int32, k), loser: make([]int32, k), k: int32(k)}
+	w := m.build()
+	if m.exhausted(w) {
+		w = -1
+	}
+	for w >= 0 {
+		ch := m.challenger(w)
+		for {
+			fi := m.heads[w]
+			m.heads[w]++
+			streams = append(streams, w)
+			codes = append(codes, m.refined[w].frags[fi].Code)
+			if m.exhausted(w) || (ch >= 0 && !m.less(w, ch)) {
+				break
+			}
+		}
+		w = m.replay(w)
+	}
+	return streams, codes
+}
+
+// randStreams builds k sorted code streams with skewed lengths (stream 0
+// gets runs of consecutive codes, exercising the gallop) and duplicate
+// codes both within and across streams.
+func randStreams(r *rand.Rand, k, maxLen int) []refinedView {
+	refined := make([]refinedView, k)
+	for vi := range refined {
+		n := r.Intn(maxLen + 1)
+		if vi == 0 {
+			n = maxLen * 2 // skew: the dominant stream gallops
+		}
+		frags := make([]*views.Fragment, 0, n)
+		for i := 0; i < n; i++ {
+			depth := 1 + r.Intn(4)
+			code := make(dewey.Code, depth)
+			for d := range code {
+				code[d] = uint32(r.Intn(4))
+			}
+			frags = append(frags, &views.Fragment{Code: code})
+		}
+		sort.Slice(frags, func(i, j int) bool { return dewey.Compare(frags[i].Code, frags[j].Code) < 0 })
+		refined[vi] = refinedView{frags: frags}
+	}
+	return refined
+}
+
+// TestLoserTreeMergeRandom: for many random stream sets and widths, the
+// loser-tree merge (gallop included) must emit every code exactly once,
+// in global document order, breaking ties by stream index — the order
+// the old k-head linear scan produced.
+func TestLoserTreeMergeRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + r.Intn(9)
+		refined := randStreams(r, k, 1+r.Intn(20))
+
+		type emit struct {
+			stream int32
+			code   dewey.Code
+		}
+		var want []emit
+		for vi := range refined {
+			for _, f := range refined[vi].frags {
+				want = append(want, emit{int32(vi), f.Code})
+			}
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			c := dewey.Compare(want[i].code, want[j].code)
+			return c < 0 || (c == 0 && want[i].stream < want[j].stream)
+		})
+
+		streams, codes := mergeStreams(refined)
+		if len(codes) != len(want) {
+			t.Fatalf("trial %d (k=%d): merged %d codes, want %d", trial, k, len(codes), len(want))
+		}
+		for i := range want {
+			if streams[i] != want[i].stream || dewey.Compare(codes[i], want[i].code) != 0 {
+				t.Fatalf("trial %d (k=%d): emit %d = (stream %d, %v), want (stream %d, %v)",
+					trial, k, i, streams[i], codes[i], want[i].stream, want[i].code)
+			}
+		}
+	}
+}
+
+// TestLoserTreeGallopSkew pins the gallop fast path on a hand-built skew:
+// one stream holds a long run strictly below every other head, so after
+// the first replay the whole run must drain in emit order.
+func TestLoserTreeGallopSkew(t *testing.T) {
+	mk := func(codes ...dewey.Code) refinedView {
+		frags := make([]*views.Fragment, len(codes))
+		for i, c := range codes {
+			frags[i] = &views.Fragment{Code: c}
+		}
+		return refinedView{frags: frags}
+	}
+	refined := []refinedView{
+		mk(dewey.Code{0, 1}, dewey.Code{0, 2}, dewey.Code{0, 3}, dewey.Code{0, 4}, dewey.Code{0, 9}),
+		mk(dewey.Code{0, 5}),
+		mk(dewey.Code{0, 6}, dewey.Code{0, 7}),
+	}
+	wantStreams := []int32{0, 0, 0, 0, 1, 2, 2, 0}
+	streams, codes := mergeStreams(refined)
+	if len(streams) != len(wantStreams) {
+		t.Fatalf("emitted %d codes, want %d", len(streams), len(wantStreams))
+	}
+	for i, ws := range wantStreams {
+		if streams[i] != ws {
+			t.Fatalf("emit %d came from stream %d (%v), want stream %d", i, streams[i], codes[i], ws)
+		}
+	}
+	for i := 1; i < len(codes); i++ {
+		if dewey.Compare(codes[i-1], codes[i]) > 0 {
+			t.Fatalf("merge out of order at %d: %v > %v", i, codes[i-1], codes[i])
+		}
+	}
+}
+
+// TestPartitionByPrefix checks the span invariants the parallel join
+// relies on: spans tile the fragment list contiguously, fragments that
+// share a span share their code prefix at some depth, and the partition
+// deepens past a shared top-level component instead of collapsing to one
+// span (the all-persons-under-/site/people shape).
+func TestPartitionByPrefix(t *testing.T) {
+	mkFrags := func(codes ...dewey.Code) []*views.Fragment {
+		frags := make([]*views.Fragment, len(codes))
+		for i, c := range codes {
+			frags[i] = &views.Fragment{Code: c}
+		}
+		return frags
+	}
+	checkTiling := func(t *testing.T, parts []fragSpan, n int) {
+		t.Helper()
+		at := 0
+		for _, sp := range parts {
+			if sp.lo != at || sp.hi <= sp.lo {
+				t.Fatalf("spans do not tile [0,%d): %v", n, parts)
+			}
+			at = sp.hi
+		}
+		if at != n {
+			t.Fatalf("spans cover [0,%d), want [0,%d): %v", at, n, parts)
+		}
+	}
+
+	if parts := partitionByPrefix(nil, 4); parts != nil {
+		t.Fatalf("empty input produced spans: %v", parts)
+	}
+
+	// Distinct second components split at depth 2 already.
+	frags := mkFrags(
+		dewey.Code{0, 0, 1}, dewey.Code{0, 0, 2},
+		dewey.Code{0, 1, 0},
+		dewey.Code{0, 2, 0}, dewey.Code{0, 2, 1},
+	)
+	parts := partitionByPrefix(frags, 3)
+	checkTiling(t, parts, len(frags))
+	if len(parts) != 3 {
+		t.Fatalf("got %d spans %v, want 3", len(parts), parts)
+	}
+
+	// All fragments under one deep shared prefix: the partitioner must
+	// deepen until the codes separate rather than return a single span.
+	frags = mkFrags(
+		dewey.Code{0, 1, 0, 0}, dewey.Code{0, 1, 0, 1},
+		dewey.Code{0, 1, 1, 0}, dewey.Code{0, 1, 2, 0},
+		dewey.Code{0, 1, 3, 0}, dewey.Code{0, 1, 3, 1},
+	)
+	parts = partitionByPrefix(frags, 4)
+	checkTiling(t, parts, len(frags))
+	if len(parts) < 4 {
+		t.Fatalf("partitioner failed to deepen past the shared prefix: %v", parts)
+	}
+
+	// Identical codes can never split: the partitioner must terminate and
+	// return one span, not loop hunting for fan-out that cannot exist.
+	frags = mkFrags(dewey.Code{0, 1}, dewey.Code{0, 1}, dewey.Code{0, 1})
+	parts = partitionByPrefix(frags, 8)
+	checkTiling(t, parts, len(frags))
+
+	// Singleton overshoot: one deepening step separates every fragment at
+	// once (100 siblings under one prefix). Coalescing must cap the
+	// schedule near the requested fan-out instead of returning 100
+	// one-fragment spans.
+	many := make([]dewey.Code, 100)
+	for i := range many {
+		many[i] = dewey.Code{0, 1, uint32(i)}
+	}
+	frags = mkFrags(many...)
+	parts = partitionByPrefix(frags, 4)
+	checkTiling(t, parts, len(frags))
+	if len(parts) < 4 || len(parts) > 8 {
+		t.Fatalf("coalescing produced %d spans for minParts=4, want 4..8", len(parts))
+	}
+}
+
+// planFixture builds a (plan, fst, refined) stack from the paper's
+// running example, refined for real.
+func planFixture(t *testing.T) (*JoinPlan, *dewey.FST, []refinedView, func()) {
+	t.Helper()
+	tree := paperdata.BookTree()
+	enc, err := dewey.Encode(tree, paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := views.NewRegistry(tree, enc)
+	reg.Add(xpath.MustParse(paperdata.ViewV1), 0)
+	reg.Add(xpath.MustParse(paperdata.ViewV2), 0)
+	q := xpath.MustParse(paperdata.QueryE)
+	sel, err := selection.Minimum(q, reg.ViewList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := PlanJoin(q, sel.Covers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined := make([]refinedView, len(sel.Covers))
+	for i, c := range sel.Covers {
+		if err := refineView(q, c, enc.FST(), &refined[i], nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return jp, enc.FST(), refined, func() { releaseRefined(refined) }
+}
+
+// TestJoinParallelMatchesJoinUpper drives the parallel kernel directly
+// against the sequential one on the paper example, across worker counts
+// that exceed both the span count and the fragment count.
+func TestJoinParallelMatchesJoinUpper(t *testing.T) {
+	jp, fst, refined, release := planFixture(t)
+	defer release()
+	vt, anchors := buildVirtual(fst, refined)
+	defer putVtree(vt)
+
+	seq, err := joinUpper(jp, refined, vt, anchors, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("paper example joined zero fragments; fixture drifted")
+	}
+	for _, workers := range []int{1, 2, 3, 16} {
+		par, err := joinParallel(jp, refined, vt, anchors, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: joined %d fragments, sequential joined %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: fragment %d differs (order must match the sequential path)", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelJoinForcedXMark lowers joinParGrain so ExecuteOptions
+// engages the parallel join on a small XMark instance, then checks the
+// full pipeline's answers against the sequential path across worker
+// counts. This is the end-to-end differential guard for the kernel on a
+// document where all Δ-fragments share a top-level prefix.
+func TestParallelJoinForcedXMark(t *testing.T) {
+	oldGrain := joinParGrain
+	joinParGrain = 1
+	defer func() { joinParGrain = oldGrain }()
+
+	tree := xmark.Generate(xmark.Config{Scale: 0.05, Seed: 17})
+	enc, fst, err := dewey.EncodeTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := views.NewRegistry(tree, enc)
+	for _, src := range []string{
+		"//person/name",
+		"//person[address]/name",
+		"//person/address/city",
+		"//open_auction/bidder/increase",
+	} {
+		if _, err := reg.Add(xpath.MustParse(src), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, src := range []string{
+		"//person[address/city]/name",
+		"//person/address/city",
+		"//open_auction/bidder/increase",
+	} {
+		q := pattern.Minimize(xpath.MustParse(src))
+		sel, err := selection.Minimum(q, reg.ViewList)
+		if err != nil {
+			continue
+		}
+		seq, err := ExecuteOptions(q, sel, fst, nil, Options{MaxWorkers: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", src, err)
+		}
+		for _, workers := range []int{2, 3, 7} {
+			par, err := ExecuteOptions(q, sel, fst, nil, Options{MaxWorkers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", src, workers, err)
+			}
+			if seq.FragmentsJoined >= 2 && par.JoinWorkers < 2 {
+				t.Fatalf("%s workers=%d: parallel join not engaged (JoinWorkers=%d) despite grain=1 and %d Δ-fragments",
+					src, workers, par.JoinWorkers, seq.FragmentsJoined)
+			}
+			sc, pc := seq.Codes(), par.Codes()
+			if len(sc) != len(pc) {
+				t.Fatalf("%s workers=%d: %d answers, sequential %d", src, workers, len(pc), len(sc))
+			}
+			for i := range sc {
+				if dewey.Compare(sc[i], pc[i]) != 0 {
+					t.Fatalf("%s workers=%d: answer %d = %v, sequential %v", src, workers, i, pc[i], sc[i])
+				}
+			}
+		}
+	}
+}
+
+// TestJoinPlanReuse: passing the precomputed JoinPlan through Options
+// must give the same answers as recomputing it per call (the serving
+// layer's plan-cache wiring depends on this).
+func TestJoinPlanReuse(t *testing.T) {
+	tree := paperdata.BookTree()
+	enc, err := dewey.Encode(tree, paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := views.NewRegistry(tree, enc)
+	reg.Add(xpath.MustParse(paperdata.ViewV1), 0)
+	reg.Add(xpath.MustParse(paperdata.ViewV2), 0)
+	q := xpath.MustParse(paperdata.QueryE)
+	sel, err := selection.Minimum(q, reg.ViewList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := PlanJoin(q, sel.Covers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ExecuteOptions(q, sel, enc.FST(), nil, Options{MaxWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPlan, err := ExecuteOptions(q, sel, enc.FST(), nil, Options{MaxWorkers: 1, Plan: jp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, pc := base.Codes(), withPlan.Codes()
+	if len(bc) != len(pc) {
+		t.Fatalf("plan reuse changed answer count: %d vs %d", len(pc), len(bc))
+	}
+	for i := range bc {
+		if dewey.Compare(bc[i], pc[i]) != 0 {
+			t.Fatalf("plan reuse changed answer %d: %v vs %v", i, pc[i], bc[i])
+		}
+	}
+	// A plan for a different pattern object must be ignored, not misused.
+	q2 := xpath.MustParse(paperdata.QueryE)
+	sel2, err := selection.Minimum(q2, reg.ViewList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := ExecuteOptions(q2, sel2, enc.FST(), nil, Options{MaxWorkers: 1, Plan: jp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cross.Codes()) != len(bc) {
+		t.Fatalf("mismatched plan not recomputed: %d answers, want %d", len(cross.Codes()), len(bc))
+	}
+}
+
+// TestJoinerEpochWraparound: when the per-fragment epoch counter wraps,
+// stale stamps must not read as live assignments.
+func TestJoinerEpochWraparound(t *testing.T) {
+	jp, fst, refined, release := planFixture(t)
+	defer release()
+	vt, _ := buildVirtual(fst, refined)
+	defer putVtree(vt)
+
+	j := acquireJoiner(jp, vt, nil)
+	defer releaseJoiner(j)
+	j.beginEmbed()
+	j.setAssign(jp.rootIdx, 0)
+	if _, ok := j.assigned(int32(jp.rootIdx)); !ok {
+		t.Fatal("fresh assignment not visible")
+	}
+	// Force the wrap: the next beginEmbed overflows to 0 and must
+	// hard-reset rather than let old stamps equal the new epoch.
+	j.epoch = ^uint32(0)
+	j.assignEp[jp.rootIdx] = ^uint32(0)
+	j.beginEmbed()
+	if j.epoch == 0 {
+		t.Fatal("epoch stayed 0 after wrap; stamps comparing equal to 0 would leak")
+	}
+	if _, ok := j.assigned(int32(jp.rootIdx)); ok {
+		t.Fatal("stale assignment survived epoch wraparound")
+	}
+}
+
+// TestDedupAnswers: duplicates collapse to the first-seen answer (the
+// map-based dedup's survivor) and the dropped tail is zeroed so pooled
+// buffers do not pin fragment nodes.
+func TestDedupAnswers(t *testing.T) {
+	c := func(xs ...uint32) dewey.Code { return dewey.Code(xs) }
+	res := &Result{Answers: []Answer{
+		{Code: c(0, 1)}, {Code: c(0, 1)}, {Code: c(0, 2)}, {Code: c(0, 2)}, {Code: c(0, 2)}, {Code: c(0, 3)},
+	}}
+	backing := res.Answers
+	dedupAnswers(res)
+	want := []dewey.Code{c(0, 1), c(0, 2), c(0, 3)}
+	if len(res.Answers) != len(want) {
+		t.Fatalf("dedup kept %d answers, want %d", len(res.Answers), len(want))
+	}
+	for i, w := range want {
+		if dewey.Compare(res.Answers[i].Code, w) != 0 {
+			t.Fatalf("answer %d = %v, want %v", i, res.Answers[i].Code, w)
+		}
+	}
+	for i := len(want); i < len(backing); i++ {
+		if backing[i].Code != nil || backing[i].Node != nil {
+			t.Fatalf("dropped tail slot %d not zeroed: %+v", i, backing[i])
+		}
+	}
+}

@@ -21,11 +21,12 @@ func ExecuteNaive(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) 
 	if !selection.Answerable(q, sel.Covers) {
 		return nil, selection.ErrNotAnswerable
 	}
-	deltaIdx := chooseDelta(sel.Covers)
-	if deltaIdx < 0 {
-		return nil, fmt.Errorf("rewrite: no Δ-view in selection")
-	}
 	covers := sel.Covers
+	jp, err := PlanJoin(q, covers)
+	if err != nil {
+		return nil, err
+	}
+	deltaIdx := jp.deltaIdx
 	res := &Result{}
 
 	refined := make([]refinedView, len(covers))
@@ -46,7 +47,7 @@ func ExecuteNaive(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) 
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(covers) {
-			if tupleJoins(q, covers, refined, tuple, fst, deltaIdx) {
+			if tupleJoins(jp, refined, tuple, fst) {
 				f := refined[deltaIdx].frags[tuple[deltaIdx]]
 				key := f.Code.String()
 				if !seen[key] {
@@ -71,7 +72,7 @@ func ExecuteNaive(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST) 
 
 // tupleJoins re-checks one concrete fragment tuple by building a tiny
 // virtual tree from just these codes and matching the upper pattern.
-func tupleJoins(q *pattern.Pattern, covers []*selection.Cover, refined []refinedView, tuple []int, fst *dewey.FST, deltaIdx int) bool {
+func tupleJoins(jp *JoinPlan, refined []refinedView, tuple []int, fst *dewey.FST) bool {
 	mini := make([]refinedView, len(tuple))
 	for i, fi := range tuple {
 		mini[i] = refinedView{
@@ -80,7 +81,7 @@ func tupleJoins(q *pattern.Pattern, covers []*selection.Cover, refined []refined
 		}
 	}
 	vt, anchors := buildVirtual(fst, mini)
-	joined, err := joinUpper(q, covers, mini, vt, anchors, deltaIdx, nil)
+	joined, err := joinUpper(jp, mini, vt, anchors, nil)
 	putVtree(vt)
 	return err == nil && len(joined) > 0
 }

@@ -1,12 +1,14 @@
 package rewrite
 
-// Parallel execution of the rewriting pipeline's embarrassingly parallel
-// stages. §V's refinement ("pushing selection") treats each selected
-// view independently, and extraction treats each joined Δ-fragment
+// Parallel execution of the rewriting pipeline's parallel stages. §V's
+// refinement ("pushing selection") treats each selected view
+// independently, and extraction treats each joined Δ-fragment
 // independently, so both fan out across a bounded worker pool: one
 // worker per view (refinement) or a pool striding over fragments
-// (extraction). The holistic join itself stays sequential — it is the
-// single merge scan the paper designed to be linear.
+// (extraction). The holistic join splits in two: the arena build stays
+// the single loser-tree merge scan the paper designed to be linear,
+// while the per-fragment embeds — independent by construction — fan out
+// over Dewey-prefix partitions (see joinParallel in join.go).
 //
 // Correctness under concurrency: the shared budget charges atomically
 // (internal/budget), fragment trees are pre-numbered at materialization
@@ -28,10 +30,15 @@ import (
 
 // Options tunes one Execute call.
 type Options struct {
-	// MaxWorkers caps the refinement/extraction worker pool. 0 means
-	// min(GOMAXPROCS, work items); 1 forces the sequential path (useful
-	// for differential testing and single-core deployments).
+	// MaxWorkers caps the refinement/join/extraction worker pools. 0
+	// means min(GOMAXPROCS, work items); 1 forces the sequential path
+	// (useful for differential testing and single-core deployments).
 	MaxWorkers int
+	// Plan, when non-nil, supplies a precomputed join skeleton for
+	// exactly this call's (pattern, covers) pair — the serving layer
+	// caches one per query plan. A mismatched or nil Plan is recomputed
+	// on the fly, so passing it is purely an optimization.
+	Plan *JoinPlan
 }
 
 // workersFor resolves the worker count for n independent work items.

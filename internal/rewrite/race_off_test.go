@@ -1,0 +1,5 @@
+//go:build !race
+
+package rewrite
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package rewrite
+
+// raceEnabled reports the race detector is compiled in; allocation
+// accounting tests skip themselves (the detector's shadow memory
+// distorts alloc counts).
+const raceEnabled = true

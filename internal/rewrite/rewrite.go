@@ -55,17 +55,20 @@ type Result struct {
 	// Stats for benchmarking/ablation.
 	FragmentsScanned int
 	FragmentsJoined  int
-	// Per-stage wall time. Refine covers stages 1+2 and Extract stage 4
-	// (the two parallelizable stages); Join covers the sequential virtual
-	// tree build and holistic join of stage 3. BENCH_serving.json uses
-	// the split to report the rewrite's parallelizable fraction.
-	RefineNanos  int64
-	JoinNanos    int64
-	ExtractNanos int64
-	// RefineWorkers and ExtractWorkers are the worker-pool sizes the two
-	// parallel stages actually ran with (1 = sequential), for the
-	// telemetry span's worker-count attributes.
+	// Per-stage wall time. Refine covers stages 1+2 and Extract stage 4;
+	// Join covers stage 3 — the virtual-tree merge build plus the
+	// per-fragment embeds. JoinBuildNanos isolates the build, the join's
+	// only inherently sequential part: BENCH_serving.json derives the
+	// join's parallelizable fraction from JoinNanos-JoinBuildNanos.
+	RefineNanos    int64
+	JoinNanos      int64
+	JoinBuildNanos int64
+	ExtractNanos   int64
+	// RefineWorkers, JoinWorkers and ExtractWorkers are the worker-pool
+	// sizes the parallel stages actually ran with (1 = sequential), for
+	// the telemetry span's worker-count attributes.
 	RefineWorkers  int
+	JoinWorkers    int
 	ExtractWorkers int
 
 	// codes memoizes Codes(): the pipeline sorts answers once at
@@ -122,11 +125,19 @@ func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST
 	if !selection.Answerable(q, sel.Covers) {
 		return nil, selection.ErrNotAnswerable
 	}
-	deltaIdx := chooseDelta(sel.Covers)
-	if deltaIdx < 0 {
-		return nil, fmt.Errorf("rewrite: no Δ-view in selection")
-	}
 	covers := sel.Covers
+	// The join skeleton (Δ-view choice, upper twig, resolved pins) is
+	// data-independent; a caller holding a cached plan passes it through
+	// Options and skips the rebuild. Identity with this call's pattern
+	// and covers is the correctness condition — on mismatch, recompute.
+	jp := opt.Plan
+	if jp == nil || jp.q != q || len(jp.pins) != len(covers) {
+		var err error
+		if jp, err = PlanJoin(q, covers); err != nil {
+			return nil, err
+		}
+	}
+	deltaIdx := jp.deltaIdx
 	res := &Result{}
 
 	// Stage 1+2: refine fragments and filter by decoded root paths, one
@@ -175,13 +186,27 @@ func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST
 		return res, nil
 	}
 
-	// Stage 3: holistic join on the virtual tree.
+	// Stage 3: holistic join on the virtual tree. The arena build is one
+	// loser-tree merge scan; the per-fragment embeds are independent, so
+	// with enough Δ-fragments to amortize the fan-out they run on a
+	// worker pool over prefix partitions (joinParallel).
 	if err := fpJoin.Fire(); err != nil {
 		return nil, err
 	}
+	jw := 1
+	if dfrags := len(refined[deltaIdx].frags); dfrags >= 2*joinParGrain {
+		jw = opt.workersFor(dfrags / joinParGrain)
+	}
+	res.JoinWorkers = jw
 	stage = time.Now()
 	vt, anchors := buildVirtual(fst, refined)
-	joined, err := joinUpper(q, covers, refined, vt, anchors, deltaIdx, b)
+	res.JoinBuildNanos = int64(time.Since(stage))
+	var joined []*views.Fragment
+	if jw > 1 {
+		joined, err = joinParallel(jp, refined, vt, anchors, b, jw)
+	} else {
+		joined, err = joinUpper(jp, refined, vt, anchors, b)
+	}
 	putVtree(vt)
 	res.JoinNanos = int64(time.Since(stage))
 	if err != nil {

@@ -24,6 +24,17 @@ type vtree struct {
 	nodes []vnode
 	// fragEntries is the slab backing each node's fragment list.
 	fragEntries []fragEntry
+
+	// Build scratch, recycled with the arena through vtPool so a
+	// steady-state buildVirtual allocates nothing: the rightmost-path
+	// stack, the per-level last-child index, the merge's stream cursors
+	// and loser tree, and the slab backing the returned anchor slices.
+	stack       []int32
+	lastChild   []int32
+	heads       []int32
+	loser       []int32
+	anchorSlab  []int32
+	anchorViews [][]int32
 }
 
 type vnode struct {
@@ -43,17 +54,9 @@ type fragEntry struct {
 
 func (t *vtree) depth(v int32) int { return len(t.nodes[v].code) - 1 }
 
-// fragsAt iterates the fragments of view vi rooted at node v.
-func (t *vtree) fragsAt(v int32, vi int, yield func(f *views.Fragment) bool) {
-	for e := t.nodes[v].fragHead; e >= 0; e = t.fragEntries[e].next {
-		fe := &t.fragEntries[e]
-		if int(fe.view) == vi {
-			if !yield(fe.frag) {
-				return
-			}
-		}
-	}
-}
+// Fragment lists are walked inline by the joiner (joiner.pickFrag): a
+// yield-callback iterator here would cost one closure allocation per
+// candidate probe on the join's hottest loop.
 
 // vtPool recycles arenas across queries: the backing slabs keep their
 // grown capacity, so steady-state joins allocate almost nothing.
@@ -70,13 +73,111 @@ func putVtree(t *vtree) {
 	}
 	t.nodes = t.nodes[:0]
 	t.fragEntries = t.fragEntries[:0]
+	t.anchorViews = t.anchorViews[:0]
 	vtPool.Put(t)
+}
+
+// codeMerger is the loser-tree k-way merge over the per-view sorted
+// fragment-code streams. The classic linear scan picks each pop by
+// comparing all k stream heads; the loser tree replays only the ⌈log₂k⌉
+// matches along the popped leaf's path, and the galloping fast path in
+// buildVirtual skips even that while one stream's run of codes stays
+// below every other head — the common shape when one view dominates a
+// document region. Comparisons are dewey.Compare on the raw code arrays
+// shared with the fragments; decoded label-paths are never consulted.
+//
+// Layout: streams are leaves k..2k-1 of an implicit tournament tree,
+// internal nodes 1..k-1 each hold the losing stream of their match, and
+// the overall winner is kept aside. Works for any k ≥ 1 (k = 1 has no
+// internal nodes and the single stream just drains).
+type codeMerger struct {
+	refined []refinedView
+	heads   []int32 // per-stream cursor into refined[i].frags
+	loser   []int32 // internal nodes 1..k-1; index 0 unused
+	k       int32
+}
+
+// exhausted reports stream a has no codes left.
+func (m *codeMerger) exhausted(a int32) bool {
+	return int(m.heads[a]) >= len(m.refined[a].frags)
+}
+
+// less orders streams by current head code, exhausted streams last,
+// ties by stream index (keeps the emit order of the old linear scan).
+func (m *codeMerger) less(a, b int32) bool {
+	if m.exhausted(a) {
+		return false
+	}
+	if m.exhausted(b) {
+		return true
+	}
+	c := dewey.Compare(m.refined[a].frags[m.heads[a]].Code, m.refined[b].frags[m.heads[b]].Code)
+	return c < 0 || (c == 0 && a < b)
+}
+
+// build runs the initial tournament and returns the winning stream.
+func (m *codeMerger) build() int32 {
+	if m.k == 1 {
+		return 0
+	}
+	var play func(j int32) int32
+	play = func(j int32) int32 {
+		if j >= m.k {
+			return j - m.k // leaf: stream index
+		}
+		w, l := play(2*j), play(2*j+1)
+		if m.less(l, w) {
+			w, l = l, w
+		}
+		m.loser[j] = l
+		return w
+	}
+	return play(1)
+}
+
+// replay re-runs the matches along stream w's leaf path after its head
+// advanced, returning the new overall winner (-1 when all streams are
+// exhausted).
+func (m *codeMerger) replay(w int32) int32 {
+	cur := w
+	for j := (w + m.k) / 2; j >= 1; j /= 2 {
+		if m.less(m.loser[j], cur) {
+			m.loser[j], cur = cur, m.loser[j]
+		}
+	}
+	if m.exhausted(cur) {
+		return -1
+	}
+	return cur
+}
+
+// challenger returns the best stream other than winner w — the min over
+// the losers on w's path, which cover every other leaf — or -1 when
+// there is none (k = 1). Exhausted challengers are fine: less() against
+// them lets the gallop drain w to its end.
+func (m *codeMerger) challenger(w int32) int32 {
+	ch := int32(-1)
+	for j := (w + m.k) / 2; j >= 1; j /= 2 {
+		if l := m.loser[j]; ch < 0 || m.less(l, ch) {
+			ch = l
+		}
+	}
+	return ch
+}
+
+// grow returns s resized to length n, reallocating only past capacity.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // buildVirtual merges the sorted fragment-code streams of all views into
 // the virtual tree in one scan; shared prefixes collapse. It returns the
 // tree and, per view, the arena index each fragment landed on. Callers
-// must release the tree with putVtree once the join is done.
+// must release the tree with putVtree once the join is done; the anchor
+// slices are backed by the tree's pooled slab and die with it.
 func buildVirtual(fst *dewey.FST, refined []refinedView) (*vtree, [][]int32) {
 	total := 0
 	for vi := range refined {
@@ -89,70 +190,86 @@ func buildVirtual(fst *dewey.FST, refined []refinedView) (*vtree, [][]int32) {
 	}
 	t.nodes = append(t.nodes, vnode{code: dewey.Code{0}, label: fst.RootLabel(), parent: -1, firstChild: -1, nextSib: -1, fragHead: -1})
 
-	anchors := make([][]int32, len(refined))
-	heads := make([]int, len(refined))
+	// Anchor slices carved out of one pooled slab.
+	t.anchorSlab = growI32(t.anchorSlab, total)
+	anchors := t.anchorViews[:0]
+	off := 0
 	for vi := range refined {
-		anchors[vi] = make([]int32, len(refined[vi].frags))
+		n := len(refined[vi].frags)
+		anchors = append(anchors, t.anchorSlab[off:off+n:off+n])
+		off += n
 	}
+	t.anchorViews = anchors
 
-	// stack holds the rightmost path (arena indices).
-	stack := make([]int32, 1, 16)
-	stack[0] = 0
-	// lastChild per stack position to append siblings in O(1).
-	lastChild := make([]int32, 1, 16)
-	lastChild[0] = -1
+	k := len(refined)
+	m := codeMerger{refined: refined, heads: growI32(t.heads, k), loser: growI32(t.loser, k), k: int32(k)}
+	for i := range m.heads {
+		m.heads[i] = 0
+	}
+	t.heads, t.loser = m.heads, m.loser
 
-	for {
-		// k-way merge: pick the stream with the smallest head code.
-		best := -1
-		for vi := range refined {
-			if heads[vi] >= len(refined[vi].frags) {
-				continue
+	// stack holds the rightmost path (arena indices); stack[d] is the
+	// node whose code is prev[:d+1], so after each insert len(stack) ==
+	// len(prev). lastChild per stack position appends siblings in O(1).
+	stack := t.stack[:0]
+	stack = append(stack, 0)
+	lastChild := t.lastChild[:0]
+	lastChild = append(lastChild, -1)
+	prev := t.nodes[0].code
+
+	w := m.build()
+	if m.exhausted(w) {
+		w = -1
+	}
+	for w >= 0 {
+		// Gallop: while stream w's run stays strictly below the best
+		// other head, emit without replaying the tree.
+		ch := m.challenger(w)
+		for {
+			fi := m.heads[w]
+			m.heads[w]++
+			frag := m.refined[w].frags[fi]
+			labels := m.refined[w].labels[fi]
+			code := frag.Code
+
+			// Pop to the longest stack prefix of code. The stack mirrors
+			// prev's path, so that prefix has exactly commonPrefixLen
+			// components — one O(min depth) scan instead of repeated
+			// IsPrefix checks per popped level.
+			if n := dewey.CommonPrefixLen(prev, code); n < len(stack) {
+				stack = stack[:n]
+				lastChild = lastChild[:n]
 			}
-			if best < 0 || dewey.Compare(refined[vi].frags[heads[vi]].Code, refined[best].frags[heads[best]].Code) < 0 {
-				best = vi
-			}
-		}
-		if best < 0 {
-			break
-		}
-		fi := heads[best]
-		heads[best]++
-		frag := refined[best].frags[fi]
-		labels := refined[best].labels[fi]
-		code := frag.Code
-
-		// pop to the longest stack prefix of code
-		for len(stack) > 1 {
 			top := stack[len(stack)-1]
-			if dewey.IsPrefix(t.nodes[top].code, code) {
+			for d := len(stack); d < len(code); d++ {
+				idx := int32(len(t.nodes))
+				t.nodes = append(t.nodes, vnode{
+					code: code[:d+1], label: labels[d],
+					parent: top, firstChild: -1, nextSib: -1, fragHead: -1,
+				})
+				if lastChild[len(lastChild)-1] < 0 {
+					t.nodes[top].firstChild = idx
+				} else {
+					t.nodes[lastChild[len(lastChild)-1]].nextSib = idx
+				}
+				lastChild[len(lastChild)-1] = idx
+				stack = append(stack, idx)
+				lastChild = append(lastChild, -1)
+				top = idx
+			}
+			e := int32(len(t.fragEntries))
+			t.fragEntries = append(t.fragEntries, fragEntry{view: int32(w), frag: frag, next: t.nodes[top].fragHead})
+			t.nodes[top].fragHead = e
+			anchors[w][fi] = top
+			prev = code
+
+			if m.exhausted(w) || (ch >= 0 && !m.less(w, ch)) {
 				break
 			}
-			stack = stack[:len(stack)-1]
-			lastChild = lastChild[:len(lastChild)-1]
 		}
-		top := stack[len(stack)-1]
-		for d := len(t.nodes[top].code); d < len(code); d++ {
-			idx := int32(len(t.nodes))
-			t.nodes = append(t.nodes, vnode{
-				code: code[:d+1], label: labels[d],
-				parent: top, firstChild: -1, nextSib: -1, fragHead: -1,
-			})
-			if lastChild[len(lastChild)-1] < 0 {
-				t.nodes[top].firstChild = idx
-			} else {
-				t.nodes[lastChild[len(lastChild)-1]].nextSib = idx
-			}
-			lastChild[len(lastChild)-1] = idx
-			stack = append(stack, idx)
-			lastChild = append(lastChild, -1)
-			top = idx
-		}
-		e := int32(len(t.fragEntries))
-		t.fragEntries = append(t.fragEntries, fragEntry{view: int32(best), frag: frag, next: t.nodes[top].fragHead})
-		t.nodes[top].fragHead = e
-		anchors[best][fi] = top
+		w = m.replay(w)
 	}
+	t.stack, t.lastChild = stack, lastChild
 	return t, anchors
 }
 
@@ -184,17 +301,20 @@ func extract(q *pattern.Pattern, dc *selection.Cover, frags []*views.Fragment, r
 		if err := extractParallel(comp, frags, res, b, workers); err != nil {
 			return err
 		}
-		sortAnswers(res)
-		return nil
-	}
-	seen := make(map[string]bool)
-	for _, f := range frags {
-		if err := b.Step(1); err != nil {
-			return err
+	} else {
+		for _, f := range frags {
+			if err := b.Step(1); err != nil {
+				return err
+			}
+			appendFragAnswers(comp, f, &res.Answers)
 		}
-		appendFragAnswers(comp, f, &res.Answers, seen)
 	}
+	// Answers are appended in fragment order; the stable sort keeps that
+	// order among equal codes, so dropping adjacent duplicates keeps the
+	// first-seen Answer — the same survivor the old map-based dedup kept,
+	// without a Code.String() key allocation per answer.
 	sortAnswers(res)
+	dedupAnswers(res)
 	return nil
 }
 
@@ -203,9 +323,8 @@ func extract(q *pattern.Pattern, dc *selection.Cover, frags []*views.Fragment, r
 const minParallelFrags = 4
 
 // appendFragAnswers runs the compensating query on one fragment and
-// appends its (not yet globally deduplicated) answers. seen, when
-// non-nil, dedups across fragments as the sequential path does.
-func appendFragAnswers(comp *pattern.Pattern, f *views.Fragment, out *[]Answer, seen map[string]bool) {
+// appends its (not yet deduplicated) answers.
+func appendFragAnswers(comp *pattern.Pattern, f *views.Fragment, out *[]Answer) {
 	answers := engine.AnswersAtRoot(f.Tree, comp)
 	for _, a := range answers {
 		ord := f.Tree.Ord(a)
@@ -213,21 +332,14 @@ func appendFragAnswers(comp *pattern.Pattern, f *views.Fragment, out *[]Answer, 
 		if ord < len(f.NodeCodes) {
 			code = f.NodeCodes[ord]
 		}
-		if seen != nil {
-			key := code.String()
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-		}
 		*out = append(*out, Answer{Code: code, Node: a})
 	}
 }
 
 // extractParallel fans the per-fragment compensating queries out over a
 // worker pool. Workers fill their own fragment's slot; the merge walks
-// slots in fragment order with the same dedup rule as the sequential
-// loop, keeping the surviving Answer for a duplicated code identical.
+// slots in fragment order, so the caller's stable sort + adjacent dedup
+// sees the same sequence the sequential loop builds.
 func extractParallel(comp *pattern.Pattern, frags []*views.Fragment, res *Result, b *budget.B, workers int) error {
 	slots := make([][]Answer, len(frags))
 	var (
@@ -252,7 +364,7 @@ func extractParallel(comp *pattern.Pattern, frags []*views.Fragment, res *Result
 					stop.Store(true)
 					return
 				}
-				appendFragAnswers(comp, frags[i], &slots[i], nil)
+				appendFragAnswers(comp, frags[i], &slots[i])
 			}
 		}()
 	}
@@ -260,22 +372,41 @@ func extractParallel(comp *pattern.Pattern, frags []*views.Fragment, res *Result
 	if p := errSlot.Load(); p != nil {
 		return *p
 	}
-	seen := make(map[string]bool)
 	for _, slot := range slots {
-		for _, a := range slot {
-			key := a.Code.String()
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			res.Answers = append(res.Answers, a)
-		}
+		res.Answers = append(res.Answers, slot...)
 	}
 	return nil
 }
 
+// sortAnswers orders answers in document order. The sort is stable so
+// that among equal codes the fragment-order first answer stays first —
+// dedupAnswers relies on that to pick the sequential path's survivor.
 func sortAnswers(res *Result) {
-	sort.Slice(res.Answers, func(i, j int) bool {
+	sort.SliceStable(res.Answers, func(i, j int) bool {
 		return dewey.Compare(res.Answers[i].Code, res.Answers[j].Code) < 0
 	})
+}
+
+// dedupAnswers drops adjacent equal-code answers from the sorted list.
+// Overlapping Δ-fragments can extract the same base node more than once;
+// since answers are sorted, duplicates are adjacent and the whole dedup
+// is one compaction pass — no per-answer key strings, no map.
+func dedupAnswers(res *Result) {
+	a := res.Answers
+	if len(a) < 2 {
+		return
+	}
+	out := 1
+	for i := 1; i < len(a); i++ {
+		if dewey.Compare(a[i].Code, a[out-1].Code) == 0 {
+			continue
+		}
+		a[out] = a[i]
+		out++
+	}
+	// Zero the dropped tail so fragment nodes aren't pinned past reuse.
+	for i := out; i < len(a); i++ {
+		a[i] = Answer{}
+	}
+	res.Answers = a[:out]
 }

@@ -28,6 +28,7 @@ import (
 	"xpathviews/internal/budget"
 	"xpathviews/internal/pattern"
 	"xpathviews/internal/plancache"
+	"xpathviews/internal/rewrite"
 	"xpathviews/internal/selection"
 	"xpathviews/internal/views"
 )
@@ -55,6 +56,11 @@ type queryPlan struct {
 	q *pattern.Pattern
 	// sel is the chosen selection; nil when err is set.
 	sel *selection.Selection
+	// join is the data-independent holistic-join skeleton (Δ-view
+	// choice, upper twig, resolved pins) for (q, sel), computed once at
+	// plan time so cache hits skip the rebuild inside the rewrite. Nil
+	// when err is set; rewrite recomputes on the fly if absent.
+	join *rewrite.JoinPlan
 	// info records how the plan was computed (candidate set, stage
 	// timings) for Result accounting and Explain.
 	info planInfo
@@ -217,6 +223,12 @@ func (s *System) computePlanLocked(q *pattern.Pattern, strat Strategy, b *budget
 		return nil, err
 	}
 	pl := &queryPlan{q: q, sel: sel, info: info}
+	// A selection that passed Answerable always has a Δ-view, so this
+	// only fails on malformed hand-built selections; the rewrite stage
+	// re-derives (and re-rejects) in that case.
+	if jp, jerr := rewrite.PlanJoin(q, sel.Covers); jerr == nil {
+		pl.join = jp
+	}
 	for _, c := range sel.Covers {
 		pl.covers = append(pl.covers, planCover{id: c.View.ID, v: c.View, gen: c.View.Gen})
 	}

@@ -555,7 +555,7 @@ func (s *System) answerPlanLocked(pl *queryPlan, strat Strategy, b *budget.B, co
 	rsp := co.child("rewrite")
 	rstart := time.Now()
 	out, err := runStage("rewrite", func() (*rewrite.Result, error) {
-		return rewrite.ExecuteBudget(pl.q, pl.sel, s.fst, b)
+		return rewrite.ExecuteOptions(pl.q, pl.sel, s.fst, b, rewrite.Options{Plan: pl.join})
 	})
 	if err != nil {
 		rsp.Err(err)
@@ -573,6 +573,7 @@ func (s *System) answerPlanLocked(pl *queryPlan, strat Strategy, b *budget.B, co
 		if out.JoinNanos > 0 {
 			jn := rsp.ChildTimed("join", t, time.Duration(out.JoinNanos))
 			jn.SetAttr("fragments_joined", out.FragmentsJoined)
+			jn.SetAttr("workers", out.JoinWorkers)
 			t = t.Add(time.Duration(out.JoinNanos))
 		}
 		ext := rsp.ChildTimed("extract", t, time.Duration(out.ExtractNanos))
