@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo serve-demo statusz-demo bench-server bench-maintain update-demo bench-join gate-join
+.PHONY: check build vet test race fuzz-smoke fmt-check advise-demo bench obs-demo serve-demo statusz-demo bench-server bench-maintain update-demo bench-join gate-join views-demo bench-views
 
 # check is the full local gate: static checks, build, the race-enabled
 # test suite, and a short fuzz smoke of the XPath parser.
@@ -142,6 +142,41 @@ update-demo:
 # machine-readable report in BENCH_server.json.
 bench-server:
 	XPV_BENCH_SERVER=1 $(GO) test -run=TestServerBenchReport -count=1 -v ./internal/server
+
+# views-demo exercises the view observatory end to end: boots xpvserved
+# on the paper's running example, serves a few queries, reads the
+# per-view attribution from GET /v1/views and the drift/calibration
+# block from /statusz, checks the join-kernel and calibration metrics in
+# /metrics, then runs the library-level report through xpvquery
+# -viewstats. CI runs this on every push.
+views-demo:
+	printf '%s' '<b><t/><a/><a/><s><t/><p/><p/><f><i/></f><s><t/><p/><p/><f><i/></f></s></s><s><t/><p/><p/><s><t/><p/><f><i/></f></s><s><t/><p/></s></s></b>' > /tmp/xpv-book.xml
+	$(GO) build -o /tmp/xpvserved ./cmd/xpvserved
+	set -e; \
+	/tmp/xpvserved -addr 127.0.0.1:8935 -doc /tmp/xpv-book.xml \
+	  -view '//s[t]/p' -view '//s[a][.//i]//p' -view '//s[*//t]//p' -view '//s[p]/f' \
+	  -slowlog 1ns & pid=$$!; \
+	for i in $$(seq 1 100); do curl -fsS http://127.0.0.1:8935/readyz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	for i in 1 2 3; do curl -fsS -X POST -d '{"query": "//s[f//i][t]/p"}' http://127.0.0.1:8935/v1/query >/dev/null; done; \
+	curl -fsS http://127.0.0.1:8935/v1/views; \
+	curl -fsS http://127.0.0.1:8935/v1/views | grep -q '"hits": 3'; \
+	curl -fsS http://127.0.0.1:8935/statusz | grep -q 'calibration_err'; \
+	curl -fsS http://127.0.0.1:8935/statusz | grep -q 'drift: armed='; \
+	curl -fsS http://127.0.0.1:8935/metrics | grep -q 'xpv_joins_total'; \
+	curl -fsS http://127.0.0.1:8935/metrics | grep -q 'xpv_cost_calibration_err_ppm_count'; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	$(GO) run ./cmd/xpvquery -doc /tmp/xpv-book.xml \
+		-view '//s[t]/p' -view '//s[a][.//i]//p' -view '//s[*//t]//p' -view '//s[p]/f' \
+		-strategy HV -viewstats '//s[f//i][t]/p' | grep -q '"benefit_per_kb"'; \
+	echo "views-demo: per-view attribution visible over HTTP and CLI"
+
+# bench-views replays the paper's running example through the view
+# observatory (per-view attribution + cost-model calibration) and the
+# XMark drift demo (steady replay stays quiet, a shifted workload trips
+# the threshold), refreshing the machine-readable BENCH_views.json.
+bench-views:
+	XPV_BENCH_VIEWS=1 $(GO) test -run=TestViewStatsBenchReport -count=1 -v .
 
 # advise-demo generates a positive workload and runs the advisor against
 # the naive top-k baseline at the same byte budget.

@@ -69,7 +69,14 @@ func classifyOutcome(viewAnswered bool, err error) advisor.Outcome {
 func (s *System) Advise(stats []advisor.QueryStat, opts AdviceOptions) (*Advice, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return advisor.Advise(s.doc, s.enc, s.registry.Index, stats, opts)
+	adv, err := advisor.Advise(s.doc, s.enc, s.registry.Index, stats, opts)
+	if err == nil {
+		// The advised workload is, by definition, the distribution the
+		// next view set is designed for: arm the drift detector so
+		// serving can tell when live traffic stops looking like it.
+		s.SetDesignWorkload(stats)
+	}
+	return adv, err
 }
 
 // ApplyAdvice materializes the advised views, returning their IDs. Views

@@ -40,19 +40,20 @@ func main() {
 	compare := flag.Bool("compare", false, "also evaluate the naive top-k baseline at the same budget")
 	apply := flag.Bool("apply", false, "apply the advice and report the realized view-answered fraction")
 	asJSON := flag.Bool("json", false, "emit the advice as JSON")
+	viewstats := flag.Bool("viewstats", false, "with -apply, dump the view-observatory report (per-view attribution, calibration, drift) as JSON after the replay")
 	flag.Parse()
 
 	if *wlPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*wlPath, *docPath, *scale, *seed, *budget, *perView, *maxCand, *exact, *compare, *apply, *asJSON); err != nil {
+	if err := run(*wlPath, *docPath, *scale, *seed, *budget, *perView, *maxCand, *exact, *compare, *apply, *asJSON, *viewstats); err != nil {
 		fmt.Fprintln(os.Stderr, "xpvadvise:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wlPath, docPath string, scale float64, seed int64, budget, perView, maxCand, exact int, compare, apply, asJSON bool) error {
+func run(wlPath, docPath string, scale float64, seed int64, budget, perView, maxCand, exact int, compare, apply, asJSON, viewstats bool) error {
 	f, err := os.Open(wlPath)
 	if err != nil {
 		return err
@@ -150,6 +151,17 @@ func run(wlPath, docPath string, scale float64, seed int64, budget, perView, max
 		if total > 0 {
 			fmt.Printf("realized: %.1f%% of traffic answered from views (%d/%d calls)\n",
 				100*float64(answered)/float64(total), answered, total)
+		}
+		if viewstats {
+			// The replay above exercised exactly the design workload
+			// Advise armed the drift detector with, so the report shows
+			// the attribution the advised set earns on its own traffic.
+			fmt.Println("view stats:")
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(sys.ViewStatsReport()); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

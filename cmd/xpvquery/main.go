@@ -14,11 +14,14 @@
 // views, plan-cache status, per-stage timings and the span tree)
 // instead of answers; -explain-json emits the same as JSON. -slowlog
 // arms the slow-query log at a threshold and prints retained entries
-// after the run; -metrics dumps the metrics exposition.
+// after the run; -metrics dumps the metrics exposition; -viewstats
+// dumps the view-observatory report (per-view hit attribution and
+// benefit-per-KB, cost-model calibration, workload-drift state).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +48,7 @@ func main() {
 	explainJSON := flag.Bool("explain-json", false, "like -explain, but emit JSON")
 	slowlog := flag.Duration("slowlog", 0, "arm the slow-query log at this threshold, e.g. 1ms, and print entries after the run (0 = off)")
 	metrics := flag.Bool("metrics", false, "dump the metrics text exposition after the run")
+	viewstats := flag.Bool("viewstats", false, "dump the view-observatory report (per-view attribution, cost calibration, workload drift) as JSON after the run")
 	traceparent := flag.String("traceparent", "", `join this W3C traceparent header ("new" = start a fresh trace); the trace ID lands in latency exemplars and slow-log entries, and the propagated header is printed`)
 	var viewSrcs viewList
 	flag.Var(&viewSrcs, "view", "materialize this view (repeatable)")
@@ -121,7 +125,7 @@ func main() {
 		} else {
 			fmt.Print(ex.Text())
 		}
-		dumpObs(sys, *slowlog, *metrics)
+		dumpObs(sys, *slowlog, *metrics, *viewstats)
 		return
 	}
 	var res *xpathviews.Result
@@ -131,7 +135,7 @@ func main() {
 		res, err = sys.AnswerContext(context.Background(), flag.Arg(0), opts)
 	}
 	if err != nil {
-		dumpObs(sys, *slowlog, *metrics)
+		dumpObs(sys, *slowlog, *metrics, *viewstats)
 		fatal(err)
 	}
 	fmt.Printf("%d answer(s) via %v", len(res.Answers), res.Strategy)
@@ -165,13 +169,13 @@ func main() {
 		}
 		fmt.Printf("%-16s %s\n", a.Code, xml)
 	}
-	dumpObs(sys, *slowlog, *metrics)
+	dumpObs(sys, *slowlog, *metrics, *viewstats)
 }
 
 // dumpObs prints the armed observability artifacts after the run: the
 // slow-query log (when -slowlog armed it) and the metrics exposition
 // (when -metrics asked for it).
-func dumpObs(sys *xpathviews.System, slowlog time.Duration, metrics bool) {
+func dumpObs(sys *xpathviews.System, slowlog time.Duration, metrics, viewstats bool) {
 	if slowlog > 0 {
 		entries := sys.SlowQueries()
 		fmt.Printf("\nslow queries (>= %v): %d\n", slowlog, len(entries))
@@ -179,6 +183,9 @@ func dumpObs(sys *xpathviews.System, slowlog time.Duration, metrics bool) {
 			fmt.Printf("  %v  %s  strategy=%s total=%v parse=%v filter=%v select=%v rewrite=%v cache_hit=%t",
 				e.Time.Format("15:04:05.000"), e.Query, e.Strategy,
 				e.Total, e.Parse, e.Filter, e.Select, e.Rewrite, e.CacheHit)
+			if len(e.Views) > 0 {
+				fmt.Printf(" views=%v", e.Views)
+			}
 			if e.TraceID != "" {
 				fmt.Printf(" trace_id=%s", e.TraceID)
 			}
@@ -190,6 +197,15 @@ func dumpObs(sys *xpathviews.System, slowlog time.Duration, metrics bool) {
 		if err := sys.DumpMetrics(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "xpvquery: dump metrics:", err)
 		}
+	}
+	if viewstats {
+		fmt.Println("\nview stats:")
+		buf, err := json.MarshalIndent(sys.ViewStatsReport(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpvquery: view stats:", err)
+			return
+		}
+		fmt.Println(string(buf))
 	}
 }
 

@@ -285,8 +285,9 @@ func spansAtPrefix(frags []*views.Fragment, depth int) []fragSpan {
 // its own pooled joiner under a budget shard, and survivors are recorded
 // in a per-fragment bitmap so the merged output is in exactly the
 // sequential path's order. Per-fragment embeds share no state, so the
-// result set is identical to joinUpper's.
-func joinParallel(p *JoinPlan, refined []refinedView, vt *vtree, anchors [][]int32, b *budget.B, workers int) ([]*views.Fragment, error) {
+// result set is identical to joinUpper's. The second return value is
+// the scheduled partition fan-out (len(parts)), exported as a metric.
+func joinParallel(p *JoinPlan, refined []refinedView, vt *vtree, anchors [][]int32, b *budget.B, workers int) ([]*views.Fragment, int, error) {
 	frags := refined[p.deltaIdx].frags
 	anch := anchors[p.deltaIdx]
 	parts := partitionByPrefix(frags, workers*joinPartsPerWorker)
@@ -328,7 +329,7 @@ func joinParallel(p *JoinPlan, refined []refinedView, vt *vtree, anchors [][]int
 	}
 	wg.Wait()
 	if e := errSlot.Load(); e != nil {
-		return nil, *e
+		return nil, len(parts), *e
 	}
 	out := make([]*views.Fragment, 0, len(frags))
 	for fi, joined := range ok {
@@ -336,7 +337,7 @@ func joinParallel(p *JoinPlan, refined []refinedView, vt *vtree, anchors [][]int
 			out = append(out, frags[fi])
 		}
 	}
-	return out, nil
+	return out, len(parts), nil
 }
 
 // beginEmbed opens a fresh per-fragment epoch; all assignment slots

@@ -73,14 +73,14 @@ func BenchmarkJoinKernel(b *testing.B) {
 	b.Run("build", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			vt, _ := buildVirtual(env.fst, env.refined)
+			vt, _, _ := buildVirtual(env.fst, env.refined)
 			putVtree(vt)
 		}
 	})
 	b.Run("join-seq", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			vt, anchors := buildVirtual(env.fst, env.refined)
+			vt, anchors, _ := buildVirtual(env.fst, env.refined)
 			if _, err := joinUpper(env.plan, env.refined, vt, anchors, nil); err != nil {
 				b.Fatal(err)
 			}
@@ -91,8 +91,8 @@ func BenchmarkJoinKernel(b *testing.B) {
 		b.Run("join-par"+string(rune('0'+workers)), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				vt, anchors := buildVirtual(env.fst, env.refined)
-				if _, err := joinParallel(env.plan, env.refined, vt, anchors, nil, workers); err != nil {
+				vt, anchors, _ := buildVirtual(env.fst, env.refined)
+				if _, _, err := joinParallel(env.plan, env.refined, vt, anchors, nil, workers); err != nil {
 					b.Fatal(err)
 				}
 				putVtree(vt)

@@ -257,7 +257,7 @@ func planFixture(t *testing.T) (*JoinPlan, *dewey.FST, []refinedView, func()) {
 func TestJoinParallelMatchesJoinUpper(t *testing.T) {
 	jp, fst, refined, release := planFixture(t)
 	defer release()
-	vt, anchors := buildVirtual(fst, refined)
+	vt, anchors, _ := buildVirtual(fst, refined)
 	defer putVtree(vt)
 
 	seq, err := joinUpper(jp, refined, vt, anchors, nil)
@@ -268,7 +268,7 @@ func TestJoinParallelMatchesJoinUpper(t *testing.T) {
 		t.Fatal("paper example joined zero fragments; fixture drifted")
 	}
 	for _, workers := range []int{1, 2, 3, 16} {
-		par, err := joinParallel(jp, refined, vt, anchors, nil, workers)
+		par, _, err := joinParallel(jp, refined, vt, anchors, nil, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -403,7 +403,7 @@ func TestJoinPlanReuse(t *testing.T) {
 func TestJoinerEpochWraparound(t *testing.T) {
 	jp, fst, refined, release := planFixture(t)
 	defer release()
-	vt, _ := buildVirtual(fst, refined)
+	vt, _, _ := buildVirtual(fst, refined)
 	defer putVtree(vt)
 
 	j := acquireJoiner(jp, vt, nil)

@@ -80,7 +80,7 @@ func tupleJoins(jp *JoinPlan, refined []refinedView, tuple []int, fst *dewey.FST
 			labels: [][]string{refined[i].labels[fi]},
 		}
 	}
-	vt, anchors := buildVirtual(fst, mini)
+	vt, anchors, _ := buildVirtual(fst, mini)
 	joined, err := joinUpper(jp, mini, vt, anchors, nil)
 	putVtree(vt)
 	return err == nil && len(joined) > 0

@@ -41,6 +41,10 @@ var (
 	fpExtract = faults.New("rewrite.extract")
 )
 
+// AttrMaxViews caps the per-cover attribution arrays in Result: fixed
+// size so attribution adds no allocation to the hot path.
+const AttrMaxViews = 8
+
 // Answer is one query result produced from view fragments only.
 type Answer struct {
 	// Code is the answer node's extended Dewey code in the base document.
@@ -70,6 +74,24 @@ type Result struct {
 	RefineWorkers  int
 	JoinWorkers    int
 	ExtractWorkers int
+
+	// Per-cover refinement accounting for view attribution, indexed by
+	// cover position in the selection (the serving layer maps positions
+	// to view IDs). Fixed-size arrays keep the hot path allocation-free;
+	// selections wider than AttrMaxViews report only the first
+	// AttrMaxViews covers' volumes (view selection minimizes join width,
+	// so real selections are far narrower).
+	ViewScanned [AttrMaxViews]int32
+	ViewKept    [AttrMaxViews]int32
+
+	// Join-kernel internals (stage 3): JoinPartitions is the prefix-
+	// partition fan-out the parallel kernel scheduled (1 when the join
+	// ran sequentially, 0 when no join stage ran — the strong single-
+	// cover fast path); GallopHits counts loser-tree merge emits that
+	// rode the galloping fast path (consecutive pops from one stream
+	// without a tree replay).
+	JoinPartitions int
+	GallopHits     int64
 
 	// codes memoizes Codes(): the pipeline sorts answers once at
 	// construction (sortAnswers), so repeated calls should not re-sort or
@@ -158,6 +180,10 @@ func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST
 	res.RefineNanos = int64(time.Since(stage))
 	for i := range refined {
 		res.FragmentsScanned += refined[i].scanned
+		if i < AttrMaxViews {
+			res.ViewScanned[i] = int32(refined[i].scanned)
+			res.ViewKept[i] = int32(len(refined[i].frags))
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -199,13 +225,17 @@ func ExecuteOptions(q *pattern.Pattern, sel *selection.Selection, fst *dewey.FST
 	}
 	res.JoinWorkers = jw
 	stage = time.Now()
-	vt, anchors := buildVirtual(fst, refined)
+	vt, anchors, gallop := buildVirtual(fst, refined)
 	res.JoinBuildNanos = int64(time.Since(stage))
+	res.GallopHits = gallop
 	var joined []*views.Fragment
 	if jw > 1 {
-		joined, err = joinParallel(jp, refined, vt, anchors, b, jw)
+		var nparts int
+		joined, nparts, err = joinParallel(jp, refined, vt, anchors, b, jw)
+		res.JoinPartitions = nparts
 	} else {
 		joined, err = joinUpper(jp, refined, vt, anchors, b)
+		res.JoinPartitions = 1
 	}
 	putVtree(vt)
 	res.JoinNanos = int64(time.Since(stage))

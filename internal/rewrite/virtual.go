@@ -175,10 +175,13 @@ func growI32(s []int32, n int) []int32 {
 
 // buildVirtual merges the sorted fragment-code streams of all views into
 // the virtual tree in one scan; shared prefixes collapse. It returns the
-// tree and, per view, the arena index each fragment landed on. Callers
-// must release the tree with putVtree once the join is done; the anchor
-// slices are backed by the tree's pooled slab and die with it.
-func buildVirtual(fst *dewey.FST, refined []refinedView) (*vtree, [][]int32) {
+// tree, per view the arena index each fragment landed on, and the number
+// of gallop hits — emits taken by the inner fast-path loop without a
+// loser-tree replay (the kernel's skew exploitation, exported as a
+// metric). Callers must release the tree with putVtree once the join is
+// done; the anchor slices are backed by the tree's pooled slab and die
+// with it.
+func buildVirtual(fst *dewey.FST, refined []refinedView) (*vtree, [][]int32, int64) {
 	total := 0
 	for vi := range refined {
 		total += len(refined[vi].frags)
@@ -217,6 +220,7 @@ func buildVirtual(fst *dewey.FST, refined []refinedView) (*vtree, [][]int32) {
 	lastChild = append(lastChild, -1)
 	prev := t.nodes[0].code
 
+	var gallop int64
 	w := m.build()
 	if m.exhausted(w) {
 		w = -1
@@ -266,11 +270,12 @@ func buildVirtual(fst *dewey.FST, refined []refinedView) (*vtree, [][]int32) {
 			if m.exhausted(w) || (ch >= 0 && !m.less(w, ch)) {
 				break
 			}
+			gallop++
 		}
 		w = m.replay(w)
 	}
 	t.stack, t.lastChild = stack, lastChild
-	return t, anchors
+	return t, anchors, gallop
 }
 
 // extract runs the answer-extraction compensating query on the Δ-view's

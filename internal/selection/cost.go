@@ -40,6 +40,11 @@ func (p CostParams) cost(v *views.View) float64 {
 	return p.ViewWeight + p.ByteWeight*float64(v.TotalBytes)
 }
 
+// Cost exposes the per-view cost so serving layers can record the
+// predicted cost of a selection next to its realized execution time
+// (cost-model calibration).
+func (p CostParams) Cost(v *views.View) float64 { return p.cost(v) }
+
 // CostBased selects an answering view set greedily by cost per newly
 // covered LF element, over VFILTER's candidates, computing homomorphisms
 // lazily like Algorithm 2. It returns ErrNotAnswerable when no answering

@@ -170,6 +170,9 @@ tenant acme
   availability_burn: short=0.00 long=0.00
   latency_burn: short=0.00 long=0.00
   burning: false
+  drift: armed=false ppm=0 events=0
+  calibration_err: 0.000
+  view 0: hits=0 bytes=56 benefit_kb=0.00 net_kb=0.00 cal_err=0.000 last_splice=0
 
 tenant zeta
   inflight: 0
@@ -179,6 +182,8 @@ tenant zeta
   availability_burn: short=0.00 long=0.00
   latency_burn: short=0.00 long=0.00
   burning: false
+  drift: armed=false ppm=0 events=0
+  calibration_err: 0.000
 `
 	if got := rr.Body.String(); got != want {
 		t.Fatalf("statusz text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

@@ -266,6 +266,7 @@ func New(cfg Config, tenants []*Tenant) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /v1/views", s.handleViews)
 	s.handler = mux
 	s.ready.Store(true)
 	return s, nil

@@ -34,6 +34,26 @@ type statuszTenant struct {
 	// P99Exemplar is the trace ID last sampled in the tenant's highest
 	// populated latency bucket (absent until traffic lands there).
 	P99Exemplar *telemetry.Exemplar `json:"p99_exemplar,omitempty"`
+	// View-observatory summary: workload-drift distance (ppm of total
+	// variation) and cumulative threshold crossings, the global
+	// cost-model calibration error, and one compact row per view. GET
+	// /v1/views serves the full report.
+	DriftArmed     bool          `json:"drift_armed"`
+	DriftPPM       int64         `json:"drift_ppm"`
+	DriftEvents    int64         `json:"drift_events"`
+	CalibrationErr float64       `json:"calibration_err"`
+	ViewStats      []statuszView `json:"view_stats,omitempty"`
+}
+
+// statuszView is one view's compact observatory row.
+type statuszView struct {
+	ID             int     `json:"id"`
+	Hits           int64   `json:"hits"`
+	Bytes          int     `json:"bytes"`
+	BenefitPerKB   float64 `json:"benefit_per_kb"`
+	NetBenefitKB   float64 `json:"net_benefit_per_kb"`
+	CalibrationErr float64 `json:"calibration_err"`
+	LastSpliceSize int64   `json:"last_splice_size"`
 }
 
 // statuszTrace reports the exporter's counters.
@@ -137,6 +157,22 @@ func (s *Server) statusz(withRuntime bool) statuszReport {
 			e := ex
 			row.P99Exemplar = &e
 		}
+		vs := t.sys.ViewStatsReport()
+		row.DriftArmed = vs.DriftArmed
+		row.DriftPPM = vs.DriftPPM
+		row.DriftEvents = vs.DriftEvents
+		row.CalibrationErr = vs.CalibrationErr
+		for _, v := range vs.Views {
+			row.ViewStats = append(row.ViewStats, statuszView{
+				ID:             v.ID,
+				Hits:           v.Hits,
+				Bytes:          v.Bytes,
+				BenefitPerKB:   v.BenefitPerKB,
+				NetBenefitKB:   v.NetBenefitPerKB,
+				CalibrationErr: v.CalibrationErr,
+				LastSpliceSize: v.LastSpliceSize,
+			})
+		}
 		rep.Tenants = append(rep.Tenants, row)
 	}
 	if withRuntime {
@@ -175,6 +211,13 @@ func writeStatuszText(b *strings.Builder, rep statuszReport) {
 		if t.P99Exemplar != nil {
 			fmt.Fprintf(b, "  p99_exemplar: trace_id=%s value_ns=%d\n",
 				t.P99Exemplar.TraceID, t.P99Exemplar.ValueNs)
+		}
+		fmt.Fprintf(b, "  drift: armed=%t ppm=%d events=%d\n",
+			t.DriftArmed, t.DriftPPM, t.DriftEvents)
+		fmt.Fprintf(b, "  calibration_err: %.3f\n", t.CalibrationErr)
+		for _, v := range t.ViewStats {
+			fmt.Fprintf(b, "  view %d: hits=%d bytes=%d benefit_kb=%.2f net_kb=%.2f cal_err=%.3f last_splice=%d\n",
+				v.ID, v.Hits, v.Bytes, v.BenefitPerKB, v.NetBenefitKB, v.CalibrationErr, v.LastSpliceSize)
 		}
 	}
 	for _, sm := range rep.Runtime {

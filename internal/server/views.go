@@ -1,0 +1,34 @@
+package server
+
+// GET /v1/views: the view observatory's per-tenant report — one row per
+// materialized view (hits, bytes resident, benefit-per-KB gross and net
+// of maintenance, calibration error, last dirty-splice size) plus the
+// tenant's global calibration and workload-drift state. This is the
+// machine-readable face of the same accounting /statusz summarizes;
+// xpvquery -viewstats and xpvadvise -viewstats render the library-level
+// equivalent for embedders.
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// viewsResponse wraps a tenant's observatory summary with its name, so
+// a dashboard polling several tenants can file the payload unambiguously.
+type viewsResponse struct {
+	Tenant string `json:"tenant"`
+	// Summary is xpathviews.ViewStatsSummary: global calibration + drift
+	// state and one ViewStatReport per registered view.
+	Summary any `json:"summary"`
+}
+
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("tenant")
+	t := s.tenantFor(name, r)
+	if t == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown tenant %q", name))
+		return
+	}
+	s.countResponse(http.StatusOK)
+	writeJSON(w, http.StatusOK, viewsResponse{Tenant: t.Name(), Summary: t.sys.ViewStatsReport()})
+}

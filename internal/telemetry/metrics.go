@@ -240,6 +240,17 @@ type HistSnapshot struct {
 	P99Ns int64 `json:"p99_ns"`
 }
 
+// CountHistSnapshot is a point-in-time read of an unitless histogram
+// (HistogramCounts): identical layout to HistSnapshot, rendered without
+// the _ns unit suffixes.
+type CountHistSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
 // Snapshot reads the histogram. Buckets are loaded individually, so a
 // snapshot taken during concurrent writes is approximate (never torn
 // per bucket, possibly off by in-flight observations across buckets).
@@ -302,6 +313,10 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	hists      map[string]*Histogram
 	gaugeFuncs map[string]func() int64
+	// unitless marks histograms registered via HistogramCounts: their
+	// exposition rows drop the _ns unit suffixes (the observations are
+	// counts, not nanoseconds). Allocated lazily.
+	unitless map[string]bool
 
 	// Labeled families (see labels.go); allocated lazily so the zero
 	// maps cost nothing for registries that never use labels.
@@ -369,6 +384,29 @@ func (r *Registry) Histogram(name string) *Histogram {
 		h = &Histogram{}
 		r.hists[name] = h
 	}
+	return h
+}
+
+// HistogramCounts returns the named histogram, creating it on first
+// use, and marks it unitless: the bucket layout is the same
+// doubling-bucket scheme, but WriteText/WriteJSON render its rows as
+// _count/_sum/_p50/_p95/_p99 — no _ns suffix — because observations are
+// counts (fan-outs, hit tallies), not durations.
+func (r *Registry) HistogramCounts(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	if r.unitless == nil {
+		r.unitless = map[string]bool{}
+	}
+	r.unitless[name] = true
 	return h
 }
 
@@ -440,7 +478,13 @@ func (r *Registry) snapshot() []snapshotLine {
 		lines = append(lines, snapshotLine{n, r.gaugeFuncs[n]()})
 	}
 	for _, n := range sortedKeys(r.hists) {
-		lines = append(lines, snapshotLine{n, r.hists[n].Snapshot()})
+		hs := r.hists[n].Snapshot()
+		if r.unitless[n] {
+			lines = append(lines, snapshotLine{n, CountHistSnapshot{
+				Count: hs.Count, Sum: hs.SumNs, P50: hs.P50Ns, P95: hs.P95Ns, P99: hs.P99Ns}})
+		} else {
+			lines = append(lines, snapshotLine{n, hs})
+		}
 	}
 	sort.SliceStable(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
 	return lines
@@ -474,6 +518,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 				snapshotLine{l.name + "_p50_ns", v.P50Ns},
 				snapshotLine{l.name + "_p95_ns", v.P95Ns},
 				snapshotLine{l.name + "_p99_ns", v.P99Ns})
+		case CountHistSnapshot:
+			rows = append(rows,
+				snapshotLine{l.name + "_count", v.Count},
+				snapshotLine{l.name + "_sum", v.Sum},
+				snapshotLine{l.name + "_p50", v.P50},
+				snapshotLine{l.name + "_p95", v.P95},
+				snapshotLine{l.name + "_p99", v.P99})
 		default:
 			rows = append(rows, l)
 		}

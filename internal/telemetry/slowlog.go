@@ -35,6 +35,10 @@ type SlowQuery struct {
 	Err string `json:"err,omitempty"`
 	// CacheHit reports that the call served from a cached plan.
 	CacheHit bool `json:"cache_hit"`
+	// Views lists the IDs of the materialized views the rewriting
+	// joined (empty for non-view strategies and failed calls) — a slow
+	// entry names the exact views whose fragments were on the floor.
+	Views []int `json:"views,omitempty"`
 	// Total and the per-stage durations mirror the Result's *Nanos
 	// fields.
 	Total   time.Duration `json:"total"`

@@ -1,0 +1,167 @@
+package viewstats
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestDetector() (*Detector, *fakeClock) {
+	d := &Detector{}
+	d.init()
+	clk := &fakeClock{t: time.Unix(1_200_000_000, 0)}
+	d.SetClock(clk.now)
+	return d, clk
+}
+
+func TestDetectorDisarmedFastPath(t *testing.T) {
+	d, _ := newTestDetector()
+	if d.Armed() {
+		t.Fatal("fresh detector must be disarmed")
+	}
+	for i := 0; i < 10*checkEvery; i++ {
+		if checked, _, crossed := d.Observe(uint64(i)); checked || crossed {
+			t.Fatal("disarmed detector must never check")
+		}
+	}
+	if d.RecentN() != 0 {
+		t.Fatal("disarmed detector must not accumulate")
+	}
+	if n := testing.AllocsPerRun(100, func() { d.Observe(42) }); n != 0 {
+		t.Fatalf("disarmed Observe allocates %v/op", n)
+	}
+}
+
+func TestSteadyTrafficStaysBelowThreshold(t *testing.T) {
+	d, _ := newTestDetector()
+	design := []uint64{HashQuery("//a/b"), HashQuery("//a/c"), HashQuery("//d[e]/f")}
+	d.SetDesign(design, []int64{6, 3, 1})
+	if !d.Armed() {
+		t.Fatal("SetDesign must arm")
+	}
+	// Replay the design mix exactly: 60/30/10.
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 6; i++ {
+			d.Observe(design[0])
+		}
+		for i := 0; i < 3; i++ {
+			d.Observe(design[1])
+		}
+		d.Observe(design[2])
+	}
+	ppm, crossed := d.Check()
+	if crossed || ppm >= d.ThresholdPPM() {
+		t.Fatalf("steady traffic tripped: ppm=%d threshold=%d", ppm, d.ThresholdPPM())
+	}
+	if ppm != 0 {
+		t.Fatalf("exact replay should measure zero distance, got %d ppm", ppm)
+	}
+	if d.Events() != 0 {
+		t.Fatalf("steady traffic produced %d events", d.Events())
+	}
+}
+
+func TestShiftedTrafficTripsOnce(t *testing.T) {
+	d, _ := newTestDetector()
+	design := []uint64{HashQuery("//a/b"), HashQuery("//a/c")}
+	d.SetDesign(design, nil)
+	// Entirely new pattern: total variation heads to 1.0.
+	novel := HashQuery("//x/y[z]")
+	var sawCheck, sawCross bool
+	for i := 0; i < 4*checkEvery; i++ {
+		checked, ppm, crossed := d.Observe(novel)
+		if checked {
+			sawCheck = true
+			if ppm < d.ThresholdPPM() {
+				t.Fatalf("all-novel traffic measured only %d ppm", ppm)
+			}
+		}
+		if crossed {
+			sawCross = true
+		}
+	}
+	if !sawCheck || !sawCross {
+		t.Fatalf("checked=%t crossed=%t, want both", sawCheck, sawCross)
+	}
+	// The latch holds: staying above threshold is one event, not one per
+	// check.
+	if d.Events() != 1 {
+		t.Fatalf("events = %d, want exactly 1 while continuously above", d.Events())
+	}
+	if d.LastPPM() < d.ThresholdPPM() {
+		t.Fatalf("LastPPM = %d below threshold", d.LastPPM())
+	}
+}
+
+func TestDecayRecoversAfterShift(t *testing.T) {
+	d, clk := newTestDetector()
+	design := []uint64{HashQuery("//a/b")}
+	d.SetDesign(design, nil)
+	novel := HashQuery("//x/y")
+	for i := 0; i < 2*checkEvery; i++ {
+		d.Observe(novel)
+	}
+	if ppm, _ := d.Check(); ppm < d.ThresholdPPM() {
+		t.Fatalf("shift not detected: %d ppm", ppm)
+	}
+	// Traffic returns to the design mix; old novel mass decays away.
+	for burst := 0; burst < 12; burst++ {
+		clk.advance(DefaultDriftHalfLife)
+		for i := 0; i < checkEvery; i++ {
+			d.Observe(design[0])
+		}
+	}
+	ppm, crossed := d.Check()
+	if crossed || ppm >= d.ThresholdPPM() {
+		t.Fatalf("detector did not recover: ppm=%d events=%d", ppm, d.Events())
+	}
+	// Recovery resets the latch: a new shift counts a new event.
+	for i := 0; i < 2*checkEvery; i++ {
+		d.Observe(novel)
+	}
+	d.Check()
+	if d.Events() != 2 {
+		t.Fatalf("events = %d, want 2 after recover + re-shift", d.Events())
+	}
+}
+
+func TestSetDesignResetsWindowKeepsEvents(t *testing.T) {
+	d, _ := newTestDetector()
+	d.SetDesign([]uint64{HashQuery("//a")}, nil)
+	novel := HashQuery("//b/c")
+	for i := 0; i < 2*checkEvery; i++ {
+		d.Observe(novel)
+	}
+	d.Check()
+	if d.Events() != 1 {
+		t.Fatalf("setup: events = %d", d.Events())
+	}
+	// Re-arming (a new advised view set) clears the window and the
+	// latch but keeps the cumulative event count.
+	d.SetDesign([]uint64{HashQuery("//b/c")}, nil)
+	if d.RecentN() != 0 || d.LastPPM() != 0 {
+		t.Fatal("SetDesign must reset the recent window")
+	}
+	if d.Events() != 1 {
+		t.Fatalf("SetDesign must keep events, got %d", d.Events())
+	}
+	// Disarm via empty input.
+	d.SetDesign(nil, nil)
+	if d.Armed() {
+		t.Fatal("empty design must disarm")
+	}
+}
+
+func TestObserveAllocFreeWhenArmed(t *testing.T) {
+	d, _ := newTestDetector()
+	d.SetDesign([]uint64{1, 2, 3}, nil)
+	h := HashQuery("//a/b")
+	if n := testing.AllocsPerRun(200, func() { d.Observe(h) }); n != 0 {
+		t.Fatalf("armed Observe allocates %v/op", n)
+	}
+}

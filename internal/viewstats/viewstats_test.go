@@ -1,0 +1,178 @@
+package viewstats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSlotGrowthAndSteadyState(t *testing.T) {
+	s := New()
+	if s.Len() != 0 {
+		t.Fatalf("empty store Len = %d", s.Len())
+	}
+	sl := s.Slot(3)
+	if sl == nil || s.Len() != 4 {
+		t.Fatalf("Slot(3): slot=%v len=%d", sl, s.Len())
+	}
+	// Every index below the grown extent is populated, not nil.
+	for id := 0; id < 4; id++ {
+		if s.Peek(id) == nil {
+			t.Fatalf("Peek(%d) = nil after growing to 4", id)
+		}
+	}
+	if s.Slot(3) != sl {
+		t.Fatal("Slot(3) not stable across calls")
+	}
+	if s.Peek(10) != nil {
+		t.Fatal("Peek past the extent should be nil")
+	}
+	if s.Slot(-1) != nil {
+		t.Fatal("negative IDs must be rejected")
+	}
+}
+
+func TestNilStoreInert(t *testing.T) {
+	var s *Store
+	s.RecordQuery(1, 100)
+	s.RecordViewHit(0, 1, 1, 0.5)
+	s.RecordMaintain(0, 1, 2, 3, 4)
+	if s.Queries() != 0 || s.Len() != 0 || s.ScaleNsPerCost() != 0 {
+		t.Fatal("nil store must be fully inert")
+	}
+	if e, n := s.CalibrationError(); e != 0 || n != 0 {
+		t.Fatal("nil store calibration must be zero")
+	}
+}
+
+func TestEWMASeedAndConverge(t *testing.T) {
+	var e ewma
+	if e.value() != 0 {
+		t.Fatal("zero value must read 0")
+	}
+	if got := e.update(5, 0.1); got != 5 {
+		t.Fatalf("first update seeds directly, got %v", got)
+	}
+	// Repeated folding of a constant converges to it.
+	for i := 0; i < 200; i++ {
+		e.update(10, 0.1)
+	}
+	if got := e.value(); math.Abs(got-10) > 1e-6 {
+		t.Fatalf("EWMA did not converge: %v", got)
+	}
+}
+
+func TestRecordQueryCalibration(t *testing.T) {
+	s := New()
+	// First observation seeds the scale; no error yet.
+	if rel := s.RecordQuery(2, 2000); rel != -1 {
+		t.Fatalf("first observation rel = %v, want -1", rel)
+	}
+	if got := s.ScaleNsPerCost(); got != 1000 {
+		t.Fatalf("scale = %v, want 1000 ns/cost", got)
+	}
+	// A perfectly predicted call has zero relative error.
+	if rel := s.RecordQuery(3, 3000); rel != 0 {
+		t.Fatalf("perfect prediction rel = %v, want 0", rel)
+	}
+	// A call 2x over prediction has relative error 1 against the
+	// pre-update scale.
+	if rel := s.RecordQuery(1, 2000); math.Abs(rel-1) > 1e-9 {
+		t.Fatalf("2x miss rel = %v, want 1", rel)
+	}
+	if _, obs := s.CalibrationError(); obs != 2 {
+		t.Fatalf("calibration obs = %d, want 2", obs)
+	}
+	// Non-positive inputs count the query but not the model.
+	before := s.ScaleNsPerCost()
+	s.RecordQuery(0, 500)
+	s.RecordQuery(5, 0)
+	if s.ScaleNsPerCost() != before {
+		t.Fatal("non-positive inputs must not move the scale")
+	}
+	if s.Queries() != 5 {
+		t.Fatalf("queries = %d, want 5", s.Queries())
+	}
+}
+
+func TestRecordQueryErrorCapped(t *testing.T) {
+	s := New()
+	s.RecordQuery(1, 1000)
+	// 1000x over prediction: relative error capped at relErrCap.
+	if rel := s.RecordQuery(1, 1_000_000); rel != relErrCap {
+		t.Fatalf("pathological rel = %v, want cap %v", rel, relErrCap)
+	}
+}
+
+func TestViewHitAndMaintainAccounting(t *testing.T) {
+	s := New()
+	s.RecordViewHit(2, 10, 4, 0.5)
+	s.RecordViewHit(2, 6, 2, -1) // negative = no calibration sample
+	st := s.Stat(2)
+	if st.Hits != 2 || st.FragsScanned != 16 || st.FragsKept != 6 {
+		t.Fatalf("hit accounting: %+v", st)
+	}
+	if st.CalibrationObs != 1 || st.CalibrationErr != 0.5 {
+		t.Fatalf("calibration accounting: %+v", st)
+	}
+
+	s.RecordMaintain(2, 3, 1, 2, 100)
+	s.RecordMaintain(2, 0, 0, 1, 100)
+	st = s.Stat(2)
+	if st.MaintPasses != 2 || st.SpliceAdded != 3 || st.SpliceRemoved != 1 || st.SpliceRefreshed != 3 {
+		t.Fatalf("maintain accounting: %+v", st)
+	}
+	if st.LastSpliceSize != 1 {
+		t.Fatalf("last splice = %d, want 1", st.LastSpliceSize)
+	}
+	if st.SpliceTotal() != 7 {
+		t.Fatalf("splice total = %d, want 7", st.SpliceTotal())
+	}
+	if got := st.IncrementalFrac(); math.Abs(got-7.0/200) > 1e-9 {
+		t.Fatalf("incremental frac = %v, want 0.035", got)
+	}
+
+	// Stats covers the whole extent in ID order.
+	all := s.Stats()
+	if len(all) != 3 || all[0].ID != 0 || all[2].Hits != 2 {
+		t.Fatalf("Stats() = %+v", all)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.RecordViewHit(i%16, 1, 1, 0.1)
+				s.RecordQuery(1, 100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Queries() != 8000 {
+		t.Fatalf("queries = %d, want 8000", s.Queries())
+	}
+	var hits int64
+	for _, st := range s.Stats() {
+		hits += st.Hits
+	}
+	if hits != 8000 {
+		t.Fatalf("total hits = %d, want 8000", hits)
+	}
+}
+
+func TestHashQuerySpellingClasses(t *testing.T) {
+	if HashQuery("//a / b") != HashQuery("//a/b") {
+		t.Fatal("whitespace spellings must collide")
+	}
+	if HashQuery("//a/b") == HashQuery("//a/c") {
+		t.Fatal("distinct queries should hash apart")
+	}
+	if n := testing.AllocsPerRun(100, func() { HashQuery("//site/people/person[address]/name") }); n != 0 {
+		t.Fatalf("HashQuery allocates %v/op", n)
+	}
+}

@@ -364,6 +364,7 @@ func (s *System) maintainViewsLocked(mutCode dewey.Code, path []string, mutLabel
 	// Views sharing a dirty depth share the resolved scope node; a nil
 	// scope (the deleted root itself) is cached too.
 	scopeCache := make(map[int]*xmltree.Node)
+	vstats := s.vstats.Load()
 	for _, v := range s.registry.Views() {
 		res.ViewsChecked++
 		depth := maintain.DirtyDepth(v.Pattern, path)
@@ -389,6 +390,13 @@ func (s *System) maintainViewsLocked(mutCode dewey.Code, path []string, mutLabel
 			if s.scopedInval {
 				v.Gen++
 			}
+			// Feed the observatory's upkeep side: the dirty-splice
+			// composition, against the fragment count a full
+			// rematerialization would have recopied — so the per-view
+			// benefit report can net out maintenance cost.
+			vstats.RecordMaintain(v.ID,
+				int64(st.Added), int64(st.Removed), int64(st.Refreshed),
+				int64(len(v.Fragments)))
 		}
 	}
 	if !s.scopedInval {

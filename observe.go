@@ -109,6 +109,23 @@ type servingMetrics struct {
 	latRewrite *telemetry.Histogram // xpv_rewrite_ns
 	// latMaintain records mutation call latency (see mutate.go).
 	latMaintain *telemetry.Histogram // xpv_maintain_ns
+
+	// View-observatory instruments (see viewstats_report.go). driftGauge
+	// carries the latest workload-drift distance in ppm; driftEvents
+	// counts upward threshold crossings; calErr records each call's
+	// calibration relative error in ppm.
+	driftGauge  *telemetry.Gauge     // xpv_workload_drift
+	driftEvents *telemetry.Counter   // xpv_workload_drift_events_total
+	calErr      *telemetry.Histogram // xpv_cost_calibration_err_ppm
+
+	// Join-kernel internals (satellite of the PR 9 kernel): partition
+	// fan-out and gallop-hit volume per joined call, as totals plus
+	// unitless distributions.
+	joinsTotal      *telemetry.Counter   // xpv_joins_total
+	joinPartsTotal  *telemetry.Counter   // xpv_join_partitions_total
+	joinGallopTotal *telemetry.Counter   // xpv_join_gallop_hits_total
+	joinPartsHist   *telemetry.Histogram // xpv_join_partition_fanout
+	joinGallopHist  *telemetry.Histogram // xpv_join_gallop_hits
 }
 
 // bundles caches one servingMetrics per (registry, tenant label) so
@@ -173,6 +190,16 @@ func labeledMetricsFor(reg *telemetry.Registry, tenant string) *servingMetrics {
 		latSelect:   reg.Histogram(name("xpv_select_ns")),
 		latRewrite:  reg.Histogram(name("xpv_rewrite_ns")),
 		latMaintain: reg.Histogram(name("xpv_maintain_ns")),
+
+		driftGauge:  reg.Gauge(name("xpv_workload_drift")),
+		driftEvents: reg.Counter(name("xpv_workload_drift_events_total")),
+		calErr:      reg.HistogramCounts(name("xpv_cost_calibration_err_ppm")),
+
+		joinsTotal:      reg.Counter(name("xpv_joins_total")),
+		joinPartsTotal:  reg.Counter(name("xpv_join_partitions_total")),
+		joinGallopTotal: reg.Counter(name("xpv_join_gallop_hits_total")),
+		joinPartsHist:   reg.HistogramCounts(name("xpv_join_partition_fanout")),
+		joinGallopHist:  reg.HistogramCounts(name("xpv_join_gallop_hits")),
 	}
 	for r := range rungNames {
 		m.rungServed[r] = reg.Counter(name(fmt.Sprintf("xpv_resilient_rung_served_total{rung=%q}", rungNames[r])))
@@ -409,6 +436,7 @@ func (s *System) finishCall(co callObs, b *budget.B, t0 time.Time, src string, q
 		if res != nil {
 			e.Rung = res.Rung
 			e.CacheHit = res.PlanCacheHit
+			e.Views = res.ViewsUsed
 			e.Parse = time.Duration(res.ParseNanos)
 			e.Filter = time.Duration(res.FilterNanos)
 			e.Select = time.Duration(res.SelectNanos)

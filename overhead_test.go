@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"xpathviews"
+	"xpathviews/internal/advisor"
 	"xpathviews/internal/paperdata"
 )
 
@@ -55,5 +56,19 @@ func TestTelemetryOverheadAllocs(t *testing.T) {
 	if disabled > hitPathAllocBudget {
 		t.Fatalf("telemetry-disabled hit path allocates %.1f/op, budget %d",
 			disabled, hitPathAllocBudget)
+	}
+
+	// The view observatory's attribution path — per-view hit counters,
+	// the calibration EWMA CAS loops, and the armed drift sketch — must
+	// add zero allocations over a detached store.
+	sys.SetViewStats(nil)
+	statsOff := testing.AllocsPerRun(200, call)
+	sys.SetViewStats(xpathviews.NewViewStats())
+	sys.SetDesignWorkload([]advisor.QueryStat{{Query: paperdata.QueryE}})
+	call() // grow the per-view slots once; steady state allocates nothing
+	statsOn := testing.AllocsPerRun(200, call)
+	if statsOn > statsOff {
+		t.Fatalf("view-stats attribution adds %.1f allocs/op (off %.1f, on %.1f); budget is 0",
+			statsOn-statsOff, statsOff, statsOn)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"xpathviews/internal/rewrite"
 	"xpathviews/internal/selection"
 	"xpathviews/internal/views"
+	"xpathviews/internal/viewstats"
 )
 
 // PlanCacheStats re-exports the plan cache's effectiveness counters:
@@ -68,6 +69,17 @@ type queryPlan struct {
 	// unanswerable queries — the common case in a fallback chain — skip
 	// filtering and selection too.
 	err error
+	// predCost is the §IV-B predicted cost of the selection (sum of
+	// selection.DefaultCostParams().Cost over the chosen views),
+	// captured at plan time so serving can calibrate the cost model
+	// against realized execution time without touching the registry.
+	// Zero for negative plans.
+	predCost float64
+	// patHash is the pattern-sketch hash of the minimized query
+	// (viewstats.HashQuery over q.String()), feeding the workload-drift
+	// detector on every touch of this plan — including negative plans:
+	// unanswerable traffic is drift too.
+	patHash uint64
 	// covers records the views the selection uses and their content
 	// generations at plan time; planValidLocked compares them against the
 	// live registry so document mutations only evict the plans they
@@ -216,13 +228,18 @@ func (s *System) planLocked(q *pattern.Pattern, strat Strategy, b *budget.B, use
 // successful selection, or a definite ErrNotAnswerable.
 func (s *System) computePlanLocked(q *pattern.Pattern, strat Strategy, b *budget.B, co callObs) (*queryPlan, error) {
 	sel, info, err := s.selectLocked(q, strat, b, co)
+	patHash := viewstats.HashQuery(q.String())
 	if err != nil {
 		if errors.Is(err, ErrNotAnswerable) {
-			return &queryPlan{q: q, info: info, err: err}, nil
+			return &queryPlan{q: q, info: info, err: err, patHash: patHash}, nil
 		}
 		return nil, err
 	}
-	pl := &queryPlan{q: q, sel: sel, info: info}
+	pl := &queryPlan{q: q, sel: sel, info: info, patHash: patHash}
+	costParams := selection.DefaultCostParams()
+	for _, c := range sel.Covers {
+		pl.predCost += costParams.Cost(c.View)
+	}
 	// A selection that passed Answerable always has a Δ-view, so this
 	// only fails on malformed hand-built selections; the rewrite stage
 	// re-derives (and re-rejects) in that case.

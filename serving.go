@@ -537,6 +537,19 @@ func (s *System) answerLocked(q *pattern.Pattern, strat Strategy, b *budget.B, u
 // dependent stage — for a (possibly cached) plan under s.mu (read). A
 // plan carrying a cached negative outcome returns it immediately.
 func (s *System) answerPlanLocked(pl *queryPlan, strat Strategy, b *budget.B, co callObs) (*Result, error) {
+	// Feed the drift detector before the negative-plan check:
+	// unanswerable traffic is exactly the drift the design workload did
+	// not predict, so it must shape the recent sketch too. The hash was
+	// computed at plan time; disarmed detectors return after one load.
+	vs := s.vstats.Load()
+	if vs != nil {
+		if checked, ppm, crossed := vs.Drift.Observe(pl.patHash); checked && co.m != nil {
+			co.m.driftGauge.Set(ppm)
+			if crossed {
+				co.m.driftEvents.Inc()
+			}
+		}
+	}
 	if pl.err != nil {
 		if co.m != nil {
 			co.m.planNegative.Inc()
@@ -565,6 +578,33 @@ func (s *System) answerPlanLocked(pl *queryPlan, strat Strategy, b *budget.B, co
 	res.RefineNanos = out.RefineNanos
 	res.JoinNanos = out.JoinNanos
 	res.ExtractNanos = out.ExtractNanos
+	res.JoinPartitions = out.JoinPartitions
+	res.GallopHits = out.GallopHits
+	// Attribute the answered call to its contributing views and fold the
+	// predicted §IV-B cost against the realized rewrite time into the
+	// calibration model. All counters are atomics over pre-grown slots —
+	// no allocation on the steady-state path.
+	if vs != nil {
+		rel := vs.RecordQuery(pl.predCost, out.RefineNanos+out.JoinNanos+out.ExtractNanos)
+		if rel >= 0 && co.m != nil {
+			co.m.calErr.Observe(int64(rel * 1e6))
+		}
+		for i, c := range pl.sel.Covers {
+			var scanned, kept int64
+			if i < rewrite.AttrMaxViews {
+				scanned = int64(out.ViewScanned[i])
+				kept = int64(out.ViewKept[i])
+			}
+			vs.RecordViewHit(c.View.ID, scanned, kept, rel)
+		}
+	}
+	if co.m != nil && out.JoinPartitions > 0 {
+		co.m.joinsTotal.Inc()
+		co.m.joinPartsTotal.Add(int64(out.JoinPartitions))
+		co.m.joinPartsHist.Observe(int64(out.JoinPartitions))
+		co.m.joinGallopTotal.Add(out.GallopHits)
+		co.m.joinGallopHist.Observe(out.GallopHits)
+	}
 	if rsp != nil {
 		t := rstart
 		ref := rsp.ChildTimed("refine", t, time.Duration(out.RefineNanos))

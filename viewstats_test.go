@@ -1,0 +1,387 @@
+package xpathviews_test
+
+// End-to-end coverage for the view observatory (viewstats_report.go):
+// per-view utility attribution on the paper's running example,
+// maintenance feeding the upkeep side, slow-log view attribution, the
+// metrics exposition of the calibration/drift/join-kernel instruments,
+// and the workload-drift detector tripping on a shifted XMark workload
+// while steady traffic stays quiet. TestViewStatsBenchReport (gated on
+// XPV_BENCH_VIEWS, run via `make bench-views`) writes BENCH_views.json.
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"xpathviews"
+	"xpathviews/internal/advisor"
+	"xpathviews/internal/dewey"
+	"xpathviews/internal/paperdata"
+	"xpathviews/internal/workload"
+	"xpathviews/internal/xmark"
+)
+
+// paperObservatory builds the paper's book system with the Table I
+// views and a quiet metrics registry.
+func paperObservatory(t testing.TB) *xpathviews.System {
+	t.Helper()
+	sys, err := xpathviews.OpenWithFST(paperdata.BookTree(), paperdata.BookFST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range paperdata.TableIViews() {
+		if _, err := sys.AddView(src, xpathviews.DefaultFragmentLimit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.SetMetricsRegistry(xpathviews.NewMetricsRegistry())
+	return sys
+}
+
+func viewRow(t *testing.T, rep *xpathviews.ViewStatsSummary, id int) xpathviews.ViewStatReport {
+	t.Helper()
+	for _, v := range rep.Views {
+		if v.ID == id {
+			return v
+		}
+	}
+	t.Fatalf("view %d missing from report (%d rows)", id, len(rep.Views))
+	return xpathviews.ViewStatReport{}
+}
+
+func TestViewStatsAttribution(t *testing.T) {
+	sys := paperObservatory(t)
+	const calls = 5
+	var res *xpathviews.Result
+	for i := 0; i < calls; i++ {
+		var err error
+		res, err = sys.Answer(paperdata.QueryE, xpathviews.HV)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(res.ViewsUsed) != 2 {
+		t.Fatalf("paper example should join 2 views, got %v", res.ViewsUsed)
+	}
+	rep := sys.ViewStatsReport()
+	if rep.Queries != calls {
+		t.Fatalf("queries = %d, want %d", rep.Queries, calls)
+	}
+	used := make(map[int]bool)
+	for _, id := range res.ViewsUsed {
+		used[id] = true
+		row := viewRow(t, rep, id)
+		if row.Hits != calls {
+			t.Fatalf("view %d hits = %d, want %d", id, row.Hits, calls)
+		}
+		if row.FragsScanned <= 0 || row.FragsKept <= 0 {
+			t.Fatalf("view %d volumes: scanned=%d kept=%d", id, row.FragsScanned, row.FragsKept)
+		}
+		if row.Bytes <= 0 || row.BenefitPerKB <= 0 {
+			t.Fatalf("view %d benefit: bytes=%d benefit/KB=%v", id, row.Bytes, row.BenefitPerKB)
+		}
+		if row.XPath == "" {
+			t.Fatalf("view %d has no pattern rendering", id)
+		}
+	}
+	// Bystander views take no hits.
+	for _, v := range rep.Views {
+		if !used[v.ID] && v.Hits != 0 {
+			t.Fatalf("unused view %d has %d hits", v.ID, v.Hits)
+		}
+	}
+	// The first call seeds the cost-model scale; the rest calibrate.
+	if rep.ScaleNsPerCost <= 0 {
+		t.Fatalf("scale = %v, want > 0", rep.ScaleNsPerCost)
+	}
+	if rep.CalibrationObs != calls-1 {
+		t.Fatalf("calibration obs = %d, want %d", rep.CalibrationObs, calls-1)
+	}
+	if rep.CalibrationErr < 0 {
+		t.Fatalf("calibration err = %v", rep.CalibrationErr)
+	}
+	// Join-kernel internals surface on the Result too.
+	if res.JoinPartitions < 1 {
+		t.Fatalf("JoinPartitions = %d, want >= 1 for a 2-view join", res.JoinPartitions)
+	}
+}
+
+func TestViewStatsDetached(t *testing.T) {
+	sys := paperObservatory(t)
+	sys.SetViewStats(nil)
+	if _, err := sys.Answer(paperdata.QueryE, xpathviews.HV); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.ViewStatsReport()
+	if rep.Queries != 0 || len(rep.Views) != 0 {
+		t.Fatalf("detached store must report empty, got %+v", rep)
+	}
+	// Reattaching resumes accounting.
+	sys.SetViewStats(xpathviews.NewViewStats())
+	if _, err := sys.Answer(paperdata.QueryE, xpathviews.HV); err != nil {
+		t.Fatal(err)
+	}
+	if rep := sys.ViewStatsReport(); rep.Queries != 1 {
+		t.Fatalf("reattached queries = %d, want 1", rep.Queries)
+	}
+}
+
+func TestViewStatsMaintainFeeds(t *testing.T) {
+	sys := paperObservatory(t)
+	mres, err := sys.InsertSubtree(dewey.Code{0, 8}, "<s><t/><p/><f><i/></f></s>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.DirtyViews == 0 {
+		t.Fatal("insert dirtied no views; fixture no longer exercises maintenance")
+	}
+	rep := sys.ViewStatsReport()
+	var passes, lastSplice int64
+	for _, v := range rep.Views {
+		passes += v.MaintPasses
+		if v.LastSpliceSize > lastSplice {
+			lastSplice = v.LastSpliceSize
+		}
+		if v.MaintPasses > 0 && v.IncrementalFrac <= 0 {
+			t.Fatalf("maintained view %d reports zero incremental fraction: %+v", v.ID, v)
+		}
+	}
+	if passes != int64(mres.DirtyViews) {
+		t.Fatalf("maintenance passes = %d, want one per dirty view (%d)", passes, mres.DirtyViews)
+	}
+	if lastSplice <= 0 {
+		t.Fatal("no view recorded a dirty-splice size")
+	}
+}
+
+func TestSlowLogRecordsViews(t *testing.T) {
+	sys := paperObservatory(t)
+	sys.SetSlowQueryThreshold(time.Nanosecond)
+	res, err := sys.Answer(paperdata.QueryE, xpathviews.HV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := sys.SlowQueries()
+	if len(entries) == 0 {
+		t.Fatal("1ns threshold recorded nothing")
+	}
+	e := entries[len(entries)-1]
+	if e.Strategy != "HV" {
+		t.Fatalf("slow entry strategy = %q", e.Strategy)
+	}
+	if len(e.Views) != len(res.ViewsUsed) {
+		t.Fatalf("slow entry views = %v, result used %v", e.Views, res.ViewsUsed)
+	}
+	for i, id := range res.ViewsUsed {
+		if e.Views[i] != id {
+			t.Fatalf("slow entry views = %v, result used %v", e.Views, res.ViewsUsed)
+		}
+	}
+}
+
+func TestViewStatsMetricsExposition(t *testing.T) {
+	sys := paperObservatory(t)
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Answer(paperdata.QueryE, xpathviews.HV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := sys.DumpMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, name := range []string{
+		"xpv_workload_drift ",
+		"xpv_workload_drift_events_total ",
+		"xpv_joins_total ",
+		"xpv_join_partitions_total ",
+		"xpv_join_gallop_hits_total ",
+		"xpv_join_partition_fanout_count ",
+		"xpv_join_partition_fanout_p99 ",
+		"xpv_join_gallop_hits_count ",
+		"xpv_cost_calibration_err_ppm_count ",
+		"xpv_cost_calibration_err_ppm_p50 ",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing %q", name)
+		}
+	}
+	// The unitless histograms must not carry the _ns latency suffixes.
+	if strings.Contains(text, "xpv_join_partition_fanout_p50_ns") {
+		t.Error("count-valued histogram rendered with _ns suffix")
+	}
+	// 3 joined calls, each over >= 1 partition.
+	var joins int64
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, "xpv_joins_total "); ok {
+			if _, err := json.Number(v).Int64(); err != nil {
+				t.Fatalf("bad xpv_joins_total line %q", line)
+			}
+			n, _ := json.Number(v).Int64()
+			joins = n
+		}
+	}
+	if joins != 3 {
+		t.Fatalf("xpv_joins_total = %d, want 3", joins)
+	}
+}
+
+// driftFixture advises an XMark system on a two-query design workload
+// (which arms the detector), applies the advice, and pins the
+// detector's decay clock so the test is deterministic.
+func driftFixture(t testing.TB) (*xpathviews.System, []advisor.QueryStat) {
+	t.Helper()
+	doc := xmark.Generate(xmark.Config{Scale: 0.05, Seed: 42})
+	sys, err := xpathviews.Open(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMetricsRegistry(xpathviews.NewMetricsRegistry())
+	stats := advisor.StatsFromEntries([]workload.Entry{
+		{Freq: 5, Query: "//person/name"},
+		{Freq: 3, Query: "//open_auction[bidder]/seller"},
+	})
+	adv, err := sys.Advise(stats, xpathviews.AdviceOptions{ByteBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.ViewStatsReport().DriftArmed {
+		t.Fatal("Advise must arm the drift detector")
+	}
+	if _, err := sys.ApplyAdvice(adv); err != nil {
+		t.Fatal(err)
+	}
+	fixed := time.Unix(1_200_000_000, 0)
+	sys.ViewStats().Drift.SetClock(func() time.Time { return fixed })
+	return sys, stats
+}
+
+// replayMix serves the design workload in its recorded proportions for
+// `rounds` full passes, ignoring per-call errors (drift observes
+// unanswerable traffic too).
+func replayMix(sys *xpathviews.System, stats []advisor.QueryStat, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, st := range stats {
+			for i := 0; i < st.Freq(); i++ {
+				sys.Answer(st.Query, xpathviews.HV)
+			}
+		}
+	}
+}
+
+func TestWorkloadDriftSteadyAndShifted(t *testing.T) {
+	// Steady: live traffic replays the design mix exactly — the distance
+	// stays at zero and no threshold event fires.
+	sys, stats := driftFixture(t)
+	replayMix(sys, stats, 32) // 256 calls >= several check cadences
+	rep := sys.ViewStatsReport()
+	if rep.DriftRecentN == 0 {
+		t.Fatal("steady replay reached the detector not at all")
+	}
+	if rep.DriftEvents != 0 {
+		t.Fatalf("steady traffic fired %d drift events (ppm=%d)", rep.DriftEvents, rep.DriftPPM)
+	}
+	if rep.DriftPPM >= rep.DriftThresholdPPM {
+		t.Fatalf("steady traffic measured %d ppm, threshold %d", rep.DriftPPM, rep.DriftThresholdPPM)
+	}
+
+	// Shifted: a pattern the design never predicted dominates. The
+	// distance crosses the threshold and the event counter moves.
+	sys2, _ := driftFixture(t)
+	for i := 0; i < 256; i++ {
+		sys2.Answer("//item/name", xpathviews.HV) // unanswerable is fine: still traffic
+	}
+	rep2 := sys2.ViewStatsReport()
+	if rep2.DriftEvents < 1 {
+		t.Fatalf("shifted workload fired no drift event (ppm=%d, threshold=%d, recent=%d)",
+			rep2.DriftPPM, rep2.DriftThresholdPPM, rep2.DriftRecentN)
+	}
+	if rep2.DriftPPM < rep2.DriftThresholdPPM {
+		t.Fatalf("shifted workload ppm = %d below threshold %d", rep2.DriftPPM, rep2.DriftThresholdPPM)
+	}
+	// The gauge and event counter surface in the exposition.
+	var b strings.Builder
+	if err := sys2.DumpMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "xpv_workload_drift_events_total 1") {
+		t.Error("drift event not visible in the metrics exposition")
+	}
+}
+
+// viewsBenchReport is the BENCH_views.json shape.
+type viewsBenchReport struct {
+	GeneratedBy  string `json:"generated_by"`
+	PaperExample struct {
+		Queries        int64                       `json:"queries"`
+		ScaleNsPerCost float64                     `json:"scale_ns_per_cost"`
+		CalibrationErr float64                     `json:"calibration_err"`
+		CalibrationObs int64                       `json:"calibration_obs"`
+		Views          []xpathviews.ViewStatReport `json:"views"`
+	} `json:"paper_example"`
+	DriftDemo struct {
+		ThresholdPPM  int64 `json:"threshold_ppm"`
+		SteadyPPM     int64 `json:"steady_ppm"`
+		SteadyEvents  int64 `json:"steady_events"`
+		ShiftedPPM    int64 `json:"shifted_ppm"`
+		ShiftedEvents int64 `json:"shifted_events"`
+	} `json:"drift_demo"`
+}
+
+func TestViewStatsBenchReport(t *testing.T) {
+	if os.Getenv("XPV_BENCH_VIEWS") == "" {
+		t.Skip("set XPV_BENCH_VIEWS=1 (or run `make bench-views`) to write BENCH_views.json")
+	}
+	var rep viewsBenchReport
+	rep.GeneratedBy = "TestViewStatsBenchReport"
+
+	// Per-view attribution + calibration on the paper's running example.
+	sys := paperObservatory(t)
+	for i := 0; i < 200; i++ {
+		if _, err := sys.Answer(paperdata.QueryE, xpathviews.HV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := sys.ViewStatsReport()
+	rep.PaperExample.Queries = s.Queries
+	rep.PaperExample.ScaleNsPerCost = s.ScaleNsPerCost
+	rep.PaperExample.CalibrationErr = s.CalibrationErr
+	rep.PaperExample.CalibrationObs = s.CalibrationObs
+	rep.PaperExample.Views = s.Views
+	if s.CalibrationObs < 100 || s.ScaleNsPerCost <= 0 {
+		t.Fatalf("calibration did not converge: %+v", s)
+	}
+
+	// Drift demo: steady replay stays quiet, a shifted workload trips.
+	steadySys, stats := driftFixture(t)
+	replayMix(steadySys, stats, 32)
+	steady := steadySys.ViewStatsReport()
+	shiftSys, _ := driftFixture(t)
+	for i := 0; i < 256; i++ {
+		shiftSys.Answer("//item/name", xpathviews.HV)
+	}
+	shifted := shiftSys.ViewStatsReport()
+	rep.DriftDemo.ThresholdPPM = steady.DriftThresholdPPM
+	rep.DriftDemo.SteadyPPM = steady.DriftPPM
+	rep.DriftDemo.SteadyEvents = steady.DriftEvents
+	rep.DriftDemo.ShiftedPPM = shifted.DriftPPM
+	rep.DriftDemo.ShiftedEvents = shifted.DriftEvents
+	if steady.DriftEvents != 0 {
+		t.Fatalf("steady replay fired %d events", steady.DriftEvents)
+	}
+	if shifted.DriftEvents < 1 {
+		t.Fatalf("shifted workload fired no event (ppm=%d)", shifted.DriftPPM)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_views.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_views.json")
+}

@@ -45,6 +45,7 @@ import (
 	"xpathviews/internal/telemetry"
 	"xpathviews/internal/vfilter"
 	"xpathviews/internal/views"
+	"xpathviews/internal/viewstats"
 	"xpathviews/internal/xmltree"
 	"xpathviews/internal/xpath"
 )
@@ -139,6 +140,13 @@ type System struct {
 	// scopedInval selects per-view-generation plan invalidation (the
 	// default) over a global generation bump per mutation. Guarded by mu.
 	scopedInval bool
+
+	// vstats is the always-on view observatory (per-view utility
+	// attribution, cost-model calibration, workload-drift detection; see
+	// viewstats_report.go). An atomic pointer keeps the hot path at one
+	// load; nil disables accounting (used by the overhead guard to
+	// measure the attribution path's cost).
+	vstats atomic.Pointer[viewstats.Store]
 }
 
 // Open prepares a system over an in-memory document, deriving the FST
@@ -169,6 +177,7 @@ func OpenWithFST(doc *xmltree.Tree, fst *dewey.FST) (*System, error) {
 		scopedInval: true,
 	}
 	sys.obsPtr.Store(metricsFor(telemetry.Default()))
+	sys.vstats.Store(viewstats.New())
 	return sys, nil
 }
 
@@ -315,6 +324,16 @@ type Result struct {
 	JoinNanos    int64
 	ExtractNanos int64
 	TotalNanos   int64
+
+	// JoinPartitions is the holistic join's partition fan-out: how many
+	// Δ-prefix partitions the parallel kernel split the work into (1 for
+	// the sequential path, 0 when the strong single-cover fast path
+	// skipped the join entirely).
+	JoinPartitions int
+	// GallopHits counts merge emissions the join's galloping inner loop
+	// produced beyond its first per-advance emission — a measure of how
+	// run-structured the fragment lists were.
+	GallopHits int64
 }
 
 // Codes returns the sorted answer codes as strings.
